@@ -1,0 +1,68 @@
+// Command pqquery is a client for the PrintQueue TCP query API (hosted by
+// `pqsim -serve` or any program calling System.Serve): the remote
+// asynchronous-query path of the paper's Figure 3.
+//
+// Usage:
+//
+//	pqquery -addr 127.0.0.1:7171 interval -port 0 -start 1000000 -end 2000000
+//	pqquery -addr 127.0.0.1:7171 original -port 0 -queue 0 -at 1500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"printqueue"
+)
+
+func main() {
+	log.SetFlags(0)
+	addr := flag.String("addr", "127.0.0.1:7171", "query service address")
+	top := flag.Int("top", 20, "flows to print")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: pqquery [-addr host:port] interval|original [flags]")
+	}
+
+	client, err := printqueue.DialQueries(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	var report printqueue.Report
+	switch flag.Arg(0) {
+	case "interval":
+		fs := flag.NewFlagSet("interval", flag.ExitOnError)
+		port := fs.Int("port", 0, "egress port")
+		start := fs.Uint64("start", 0, "interval start (ns)")
+		end := fs.Uint64("end", 0, "interval end (ns)")
+		fs.Parse(flag.Args()[1:])
+		report, err = client.Interval(*port, *start, *end)
+	case "original":
+		fs := flag.NewFlagSet("original", flag.ExitOnError)
+		port := fs.Int("port", 0, "egress port")
+		queue := fs.Int("queue", 0, "priority queue")
+		at := fs.Uint64("at", 0, "query instant (ns)")
+		fs.Parse(flag.Args()[1:])
+		report, err = client.Original(*port, *queue, *at)
+	default:
+		log.Fatalf("unknown query kind %q (want interval or original)", flag.Arg(0))
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(report) == 0 {
+		fmt.Println("no culprits")
+		os.Exit(0)
+	}
+	fmt.Printf("%d culprit flows, %.1f packets total:\n", len(report), report.Total())
+	for i, c := range report {
+		if i == *top {
+			break
+		}
+		fmt.Printf("  %-44v %10.1f\n", c.Flow, c.Packets)
+	}
+}

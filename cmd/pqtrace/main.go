@@ -1,0 +1,145 @@
+// Command pqtrace generates synthetic workload traces to a binary file and
+// inspects existing ones. The files substitute for the paper's pcap replays
+// (the UW data-center trace and the synthetic WS/DM traces).
+//
+// Usage:
+//
+//	pqtrace gen -workload UW -packets 1000000 -o uw.bin
+//	pqtrace gen -scenario casestudy -scale 0.5 -o case.bin
+//	pqtrace info uw.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	if len(os.Args) < 2 {
+		log.Fatal("usage: pqtrace gen|info [flags]")
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q (want gen or info)", os.Args[1])
+	}
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	workload := fs.String("workload", "UW", "workload: UW, WS or DM")
+	scenario := fs.String("scenario", "", "instead of a workload: microburst, incast or casestudy")
+	packets := fs.Int("packets", 500000, "trace length in packets")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	linkBps := fs.Float64("link", 10e9, "line rate the loads are relative to")
+	scale := fs.Float64("scale", 0.2, "case-study time scale")
+	out := fs.String("o", "trace.bin", "output file")
+	fs.Parse(args)
+
+	var pkts []*pktrec.Packet
+	var err error
+	switch *scenario {
+	case "":
+		w, werr := trace.ParseWorkload(*workload)
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		pkts, err = trace.Generate(trace.Config{
+			Workload: w,
+			Seed:     *seed,
+			LinkBps:  uint64(*linkBps),
+			Packets:  *packets,
+			Episodic: true,
+		})
+	case "microburst":
+		pkts, _, err = trace.Microburst(trace.MicroburstConfig{
+			LinkBps: uint64(*linkBps), Seed: *seed,
+			BurstStartNs: 2e6, DurationNs: 8e6,
+		})
+	case "incast":
+		pkts, _, _, err = trace.Incast(trace.IncastConfig{
+			LinkBps: uint64(*linkBps), Seed: *seed,
+			StartNs: 2e6, DurationNs: 10e6,
+		})
+	case "casestudy":
+		pkts, _, err = trace.CaseStudy(trace.DefaultCaseStudy(*scale))
+	default:
+		log.Fatalf("unknown scenario %q", *scenario)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteFile(f, pkts); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d packets to %s\n", len(pkts), *out)
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	topN := fs.Int("top", 10, "largest flows to list")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: pqtrace info <file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	pkts, err := trace.ReadFile(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(pkts) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	var bytes uint64
+	counts := make(flow.Counts)
+	minB, maxB := pkts[0].Bytes, pkts[0].Bytes
+	for _, p := range pkts {
+		bytes += uint64(p.Bytes)
+		counts.Add(p.Flow, 1)
+		if p.Bytes < minB {
+			minB = p.Bytes
+		}
+		if p.Bytes > maxB {
+			maxB = p.Bytes
+		}
+	}
+	span := pkts[len(pkts)-1].Arrival - pkts[0].Arrival
+	fmt.Printf("packets:  %d\n", len(pkts))
+	fmt.Printf("flows:    %d\n", len(counts))
+	fmt.Printf("span:     %.3f ms\n", float64(span)/1e6)
+	fmt.Printf("bytes:    %d (packet size %d..%d, mean %.1f)\n",
+		bytes, minB, maxB, float64(bytes)/float64(len(pkts)))
+	if span > 0 {
+		fmt.Printf("avg rate: %.3f Gbps, %.3f Mpps\n",
+			float64(bytes)*8/float64(span), float64(len(pkts))*1e3/float64(span))
+	}
+	fmt.Printf("top %d flows by packets:\n", *topN)
+	entries := counts.TopK(*topN)
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Count > entries[j].Count })
+	for _, e := range entries {
+		fmt.Printf("  %-44v %10.0f\n", e.Flow, e.Count)
+	}
+}

@@ -1,0 +1,78 @@
+package printqueue
+
+import "fmt"
+
+// Diagnosis is a complete culprit report for one victim packet: all three
+// classes of the paper's taxonomy in one answer.
+type Diagnosis struct {
+	Port    int
+	Queue   int
+	EnqTime uint64
+	DeqTime uint64
+	// RegimeStart is the congestion regime's beginning, if supplied.
+	RegimeStart uint64
+
+	// Direct culprits: flows dequeued during [EnqTime, DeqTime).
+	Direct Report
+	// Indirect culprits: flows dequeued during [RegimeStart, EnqTime);
+	// empty when no regime start was supplied.
+	Indirect Report
+	// Original culprits: the queue monitor's staircase at EnqTime.
+	Original Report
+}
+
+// Diagnose answers the paper's full question for one victim: who directly
+// delayed it, who else belongs to its congestion regime, and who built the
+// queue it found. Pass regimeStart = 0 to skip the indirect query (the
+// regime boundary typically comes from a PacketLog.RegimeStart or an
+// operator's estimate).
+func (s *System) Diagnose(port, queue int, enqTime, deqTime, regimeStart uint64) (*Diagnosis, error) {
+	if deqTime <= enqTime {
+		return nil, fmt.Errorf("printqueue: victim interval [%d, %d) is empty", enqTime, deqTime)
+	}
+	d := &Diagnosis{
+		Port:        port,
+		Queue:       queue,
+		EnqTime:     enqTime,
+		DeqTime:     deqTime,
+		RegimeStart: regimeStart,
+	}
+	var err error
+	if d.Direct, err = s.QueryInterval(port, enqTime, deqTime); err != nil {
+		return nil, err
+	}
+	if regimeStart > 0 && regimeStart < enqTime {
+		if d.Indirect, err = s.QueryInterval(port, regimeStart, enqTime); err != nil {
+			return nil, err
+		}
+	}
+	if d.Original, err = s.QueryOriginal(port, queue, enqTime); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Summary renders the diagnosis as a short human-readable report listing
+// the top flows of each culprit class.
+func (d *Diagnosis) Summary(top int) string {
+	if top <= 0 {
+		top = 5
+	}
+	out := fmt.Sprintf("victim on port %d queue %d: queued %d ns\n", d.Port, d.Queue, d.DeqTime-d.EnqTime)
+	section := func(name string, r Report) string {
+		s := fmt.Sprintf("%s (%d flows, %.1f packets):\n", name, len(r), r.Total())
+		for i, c := range r {
+			if i == top {
+				break
+			}
+			s += fmt.Sprintf("  %-44v %10.1f\n", c.Flow, c.Packets)
+		}
+		return s
+	}
+	out += section("direct culprits", d.Direct)
+	if d.RegimeStart > 0 {
+		out += section("indirect culprits", d.Indirect)
+	}
+	out += section("original culprits", d.Original)
+	return out
+}

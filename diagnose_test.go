@@ -1,0 +1,81 @@
+package printqueue
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDiagnose(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{Ports: 1, LinkBps: 10e9, BufferCells: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := New(Config{
+		TimeWindows:  TimeWindowConfig{M0: 10, K: 12, Alpha: 1, T: 4, MinPktTxDelay: 1200 * time.Nanosecond},
+		QueueMonitor: QueueMonitorConfig{MaxDepthCells: 65536, GranuleCells: 19},
+		Ports:        []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Attach(sw)
+	tlog := sw.AttachLog(0)
+	pkts, bg, err := Microburst(MicroburstScenario{
+		LinkBps: 10e9, Seed: 6, BurstStart: time.Millisecond, Duration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	pq.Finalize(sw.Now() + 1)
+
+	victims := tlog.VictimsOf(bg, 0)
+	worst := victims[0]
+	for _, i := range victims {
+		if tlog.Record(i).DepthCells > tlog.Record(worst).DepthCells {
+			worst = i
+		}
+	}
+	v := tlog.Record(worst)
+	diag, err := pq.Diagnose(0, 0, v.EnqTime, v.DeqTime, tlog.RegimeStart(worst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Direct.Total() == 0 || diag.Indirect.Total() == 0 || diag.Original.Total() == 0 {
+		t.Fatalf("incomplete diagnosis: direct %v indirect %v original %v",
+			diag.Direct.Total(), diag.Indirect.Total(), diag.Original.Total())
+	}
+	// The combined answer matches the individual queries.
+	direct, _ := pq.QueryInterval(0, v.EnqTime, v.DeqTime)
+	if diag.Direct.Total() != direct.Total() {
+		t.Fatalf("Diagnose direct %v != QueryInterval %v", diag.Direct.Total(), direct.Total())
+	}
+	s := diag.Summary(3)
+	for _, want := range []string{"direct culprits", "indirect culprits", "original culprits"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// Without a regime start, the indirect section is skipped.
+	diag2, err := pq.Diagnose(0, 0, v.EnqTime, v.DeqTime, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag2.Indirect != nil {
+		t.Fatal("indirect computed without a regime start")
+	}
+	if strings.Contains(diag2.Summary(3), "indirect") {
+		t.Fatal("summary mentions indirect without a regime")
+	}
+	// Errors propagate.
+	if _, err := pq.Diagnose(0, 0, 10, 10, 0); err == nil {
+		t.Fatal("empty interval accepted")
+	}
+	if _, err := pq.Diagnose(7, 0, 10, 20, 0); err == nil {
+		t.Fatal("unknown port accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Microburst diagnosis: the paper's Figure-1 congestion regime. A light
+// background flow shares a port with a sudden multi-sender microburst; a
+// background packet enqueued near the end of the burst is the victim. The
+// example shows all three culprit classes:
+//
+//   - direct culprits (dequeued during the victim's wait) name the burst
+//     flows still in the queue,
+//   - indirect culprits (the rest of the regime) expose the whole burst,
+//   - original culprits (queue monitor) pinpoint who built the queue.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"printqueue"
+)
+
+func main() {
+	const linkBps = 10e9
+
+	pkts, background, err := printqueue.Microburst(printqueue.MicroburstScenario{
+		LinkBps:       linkBps,
+		Seed:          7,
+		BackgroundBps: 4e9,
+		BurstFlows:    8,
+		BurstPackets:  400,
+		BurstStart:    2 * time.Millisecond,
+		Duration:      8 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sw, err := printqueue.NewSwitch(printqueue.SwitchConfig{Ports: 1, LinkBps: linkBps, BufferCells: 60000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := printqueue.Config{
+		// MTU-class packets: m0 = 10 (1024 ns cells), alpha = 1.
+		TimeWindows: printqueue.TimeWindowConfig{
+			M0: 10, K: 12, Alpha: 1, T: 4, MinPktTxDelay: 1200 * time.Nanosecond,
+		},
+		QueueMonitor: printqueue.QueueMonitorConfig{MaxDepthCells: 65536, GranuleCells: 19},
+		Ports:        []int{0},
+		// Arm data-plane queries so a register freeze lands while the
+		// queue is deep: the queue-monitor snapshot then reflects the
+		// congestion peak rather than the drained end-of-run state.
+		DPTriggerDepthCells:   15000,
+		ReadRateEntriesPerSec: 50e6,
+	}
+	pq, err := printqueue.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pq.Attach(sw)
+	tlog := sw.AttachLog(0)
+
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	pq.Finalize(sw.Now() + 1)
+
+	// Victim: the background packet that waited longest.
+	victims := tlog.VictimsOf(background, 0)
+	worst := victims[0]
+	for _, i := range victims {
+		r, w := tlog.Record(i), tlog.Record(worst)
+		if r.DeqTime-r.EnqTime > w.DeqTime-w.EnqTime {
+			worst = i
+		}
+	}
+	v := tlog.Record(worst)
+	fmt.Printf("victim: background packet, queued %v (depth %d cells)\n\n",
+		time.Duration(v.DeqTime-v.EnqTime), v.DepthCells)
+
+	show := func(name string, rep printqueue.Report, truth printqueue.Report) {
+		p, r := printqueue.Accuracy(rep, truth)
+		fmt.Printf("%s (precision %.2f, recall %.2f):\n", name, p, r)
+		for i, c := range rep {
+			if i == 5 {
+				break
+			}
+			who := "burst sender"
+			if c.Flow == background {
+				who = "background"
+			}
+			fmt.Printf("  %-44v %8.1f  (%s)\n", c.Flow, c.Packets, who)
+		}
+		fmt.Println()
+	}
+
+	direct, err := pq.QueryInterval(0, v.EnqTime, v.DeqTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("direct culprits", direct, tlog.DirectTruth(worst))
+
+	regime := tlog.RegimeStart(worst)
+	indirect, err := pq.QueryInterval(0, regime, v.EnqTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("indirect culprits (regime start -> victim enqueue)", indirect, tlog.IndirectTruth(worst))
+
+	original, err := pq.QueryOriginal(0, 0, v.EnqTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("original culprits (queue monitor)", original, tlog.OriginalTruth(worst))
+}

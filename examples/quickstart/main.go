@@ -1,0 +1,84 @@
+// Quickstart: run PrintQueue on a single simulated 10 Gbps port, replay a
+// synthetic congested trace, pick the packet that suffered the deepest
+// queue, and ask which flows caused its delay.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"printqueue"
+)
+
+func main() {
+	// 1. A one-port switch with a 40k-cell (3.2 MB) buffer.
+	sw, err := printqueue.NewSwitch(printqueue.SwitchConfig{
+		Ports:       1,
+		LinkBps:     10e9,
+		BufferCells: 40000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. PrintQueue with the paper's UW-trace parameters, attached to the
+	// port, plus a telemetry log for victim selection (evaluation only —
+	// a real deployment doesn't need the log).
+	pq, err := printqueue.New(printqueue.DefaultConfig(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	pq.Attach(sw)
+	tlog := sw.AttachLog(0)
+
+	// 3. Replay 300k packets of a bursty small-packet workload.
+	pkts, err := printqueue.GenerateTrace(printqueue.TraceConfig{
+		Workload: printqueue.WorkloadUW,
+		Seed:     42,
+		LinkBps:  10e9,
+		Packets:  300000,
+		Episodic: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	pq.Finalize(sw.Now() + 1)
+
+	// 4. Pick the deepest victim and diagnose its direct culprits: the
+	// flows the switch chose to serve instead of it.
+	victims := tlog.Victims(1000, 0)
+	if len(victims) == 0 {
+		log.Fatal("no congestion in trace")
+	}
+	worst := victims[0]
+	for _, i := range victims {
+		if tlog.Record(i).DepthCells > tlog.Record(worst).DepthCells {
+			worst = i
+		}
+	}
+	v := tlog.Record(worst)
+	fmt.Printf("victim %v waited %v behind %d cells of queue\n",
+		v.Flow, time.Duration(v.DeqTime-v.EnqTime), v.DepthCells)
+
+	report, err := pq.QueryInterval(0, v.EnqTime, v.DeqTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop direct culprits (estimated packets during the victim's wait):\n")
+	for i, c := range report {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %-44v %8.1f\n", c.Flow, c.Packets)
+	}
+
+	// 5. Score against ground truth, as the paper's evaluation does.
+	p, r := printqueue.Accuracy(report, tlog.DirectTruth(worst))
+	fmt.Printf("\naccuracy vs ground truth: precision %.3f, recall %.3f\n", p, r)
+	fmt.Printf("control plane: %+v\n", pq.Stats())
+}

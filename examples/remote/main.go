@@ -1,0 +1,92 @@
+// Remote diagnosis: the paper's Figure-3 architecture end to end. The
+// switch-side process runs the data plane and the analysis program and
+// exposes the TCP query API; a separate "operator" client connects and
+// diagnoses a victim over the wire — the asynchronous-query path a real
+// deployment uses when a customer complains about latency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"printqueue"
+)
+
+func main() {
+	// --- switch side ---
+	sw, err := printqueue.NewSwitch(printqueue.SwitchConfig{
+		Ports: 1, LinkBps: 10e9, BufferCells: 60000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pq, err := printqueue.New(printqueue.Config{
+		TimeWindows: printqueue.TimeWindowConfig{
+			M0: 10, K: 12, Alpha: 1, T: 4, MinPktTxDelay: 1200 * time.Nanosecond,
+		},
+		QueueMonitor: printqueue.QueueMonitorConfig{MaxDepthCells: 65536, GranuleCells: 19},
+		Ports:        []int{0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pq.Attach(sw)
+	tlog := sw.AttachLog(0)
+
+	pkts, _, err := printqueue.Microburst(printqueue.MicroburstScenario{
+		LinkBps: 10e9, Seed: 11, BurstStart: time.Millisecond, Duration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	pq.Finalize(sw.Now() + 1)
+
+	svc, err := pq.Serve("127.0.0.1:0", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	fmt.Printf("switch: analysis program serving queries on %s\n", svc.Addr())
+
+	// --- operator side (would normally be another machine) ---
+	client, err := printqueue.DialQueries(svc.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// The customer complaint names a time window; the operator asks what
+	// occupied the port then.
+	victims := tlog.Victims(2000, 1)
+	if len(victims) == 0 {
+		log.Fatal("no congestion")
+	}
+	v := tlog.Record(victims[0])
+	fmt.Printf("operator: investigating a packet that waited %v\n\n",
+		time.Duration(v.DeqTime-v.EnqTime))
+
+	report, err := client.Interval(0, v.EnqTime, v.DeqTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("operator: direct culprits over the wire:")
+	for i, c := range report {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %-44v %10.1f\n", c.Flow, c.Packets)
+	}
+	orig, err := client.Original(0, 0, v.EnqTime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noperator: %d original culprit flows via the queue monitor\n", len(orig))
+
+	p, r := printqueue.Accuracy(report, tlog.DirectTruth(victims[0]))
+	fmt.Printf("\n(remote answers scored against local ground truth: precision %.2f, recall %.2f)\n", p, r)
+}

@@ -1,0 +1,3 @@
+module printqueue
+
+go 1.22

@@ -1,0 +1,172 @@
+// Package conquest reimplements ConQuest (Chen et al., CoNEXT 2019), the
+// related work closest to PrintQueue's time windows (paper §8). ConQuest
+// tracks the *current* queue's composition with a ring of R snapshots: the
+// snapshot in the write role accumulates the flow sizes of packets enqueued
+// during the current time window; at any instant, summing a flow's counts
+// over the readable (recent, non-write) snapshots estimates that flow's
+// bytes currently in the queue.
+//
+// The paper's contrast (§1, §8): ConQuest answers "is the enqueuing
+// packet's flow a heavy occupant of the queue right now?", but it "does not
+// permit the reverse lookup: given a victim, determine the culprits in its
+// queuing" — its snapshots age out after R windows, so an asynchronous
+// (after-the-fact) query finds nothing. The experiment in
+// internal/experiments quantifies exactly that asymmetry.
+package conquest
+
+import (
+	"fmt"
+
+	"printqueue/internal/flow"
+)
+
+// Config parameterizes a ConQuest instance.
+type Config struct {
+	// Snapshots is R, the ring size (typical: 4).
+	Snapshots int
+	// CellsPerSnapshot is the count-min row width (power of two).
+	CellsPerSnapshot int
+	// Rows is the count-min depth per snapshot (typical: 2).
+	Rows int
+	// WindowNs is the snapshot rotation period; ConQuest sizes it to a
+	// fraction of the maximum queue drain time so the readable snapshots
+	// approximately cover the queue's contents.
+	WindowNs uint64
+	// Seed drives the hash functions.
+	Seed uint64
+}
+
+// Validate checks and defaults the configuration.
+func (c *Config) Validate() error {
+	if c.Snapshots < 2 {
+		return fmt.Errorf("conquest: need at least 2 snapshots, got %d", c.Snapshots)
+	}
+	if c.CellsPerSnapshot < 1 || c.CellsPerSnapshot&(c.CellsPerSnapshot-1) != 0 {
+		return fmt.Errorf("conquest: cells per snapshot must be a power of two, got %d", c.CellsPerSnapshot)
+	}
+	if c.Rows <= 0 {
+		c.Rows = 2
+	}
+	if c.WindowNs == 0 {
+		return fmt.Errorf("conquest: window must be > 0")
+	}
+	return nil
+}
+
+// snapshot is one count-min sketch plus its covered window index.
+type snapshot struct {
+	rows   [][]uint64 // packet counts (the paper counts bytes; packets keep the comparison unit consistent)
+	window uint64     // which rotation wrote it; ^uint64(0) = never used
+}
+
+// Sketch is a ConQuest instance for one port.
+type Sketch struct {
+	cfg   Config
+	snaps []snapshot
+	cur   uint64 // current window index
+}
+
+// New builds a sketch.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{cfg: cfg, snaps: make([]snapshot, cfg.Snapshots)}
+	for i := range s.snaps {
+		s.snaps[i].rows = make([][]uint64, cfg.Rows)
+		for r := range s.snaps[i].rows {
+			s.snaps[i].rows[r] = make([]uint64, cfg.CellsPerSnapshot)
+		}
+		s.snaps[i].window = ^uint64(0)
+	}
+	return s, nil
+}
+
+// windowOf maps a timestamp to its rotation index.
+func (s *Sketch) windowOf(ts uint64) uint64 { return ts / s.cfg.WindowNs }
+
+// slotFor returns the ring slot for a window, cleaning it when the ring
+// wraps into a stale window (ConQuest's "cleaning" phase).
+func (s *Sketch) slotFor(window uint64) *snapshot {
+	slot := &s.snaps[window%uint64(s.cfg.Snapshots)]
+	if slot.window != window {
+		for r := range slot.rows {
+			clear(slot.rows[r])
+		}
+		slot.window = window
+	}
+	return slot
+}
+
+func (s *Sketch) index(row int, k flow.Key) int {
+	return int(k.Hash(s.cfg.Seed+uint64(row)*0x9e3779b97f4a7c15) & uint64(s.cfg.CellsPerSnapshot-1))
+}
+
+// OnEnqueue records a packet's flow into the current write snapshot.
+func (s *Sketch) OnEnqueue(f flow.Key, ts uint64) {
+	w := s.windowOf(ts)
+	if w > s.cur {
+		s.cur = w
+	}
+	slot := s.slotFor(w)
+	for r := range slot.rows {
+		slot.rows[r][s.index(r, f)]++
+	}
+}
+
+// estimate reads a flow's count-min estimate from one snapshot.
+func (sn *snapshot) estimate(s *Sketch, f flow.Key) uint64 {
+	min := ^uint64(0)
+	for r := range sn.rows {
+		if v := sn.rows[r][s.index(r, f)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// QueryAt estimates a flow's packets currently in the queue, as the data
+// plane would at enqueue time ts: the sum over the readable snapshots (the
+// R-1 windows preceding ts's write window).
+func (s *Sketch) QueryAt(f flow.Key, ts uint64) float64 {
+	w := s.windowOf(ts)
+	var total uint64
+	for i := 1; i < s.cfg.Snapshots; i++ {
+		if uint64(i) > w {
+			break
+		}
+		slot := &s.snaps[(w-uint64(i))%uint64(s.cfg.Snapshots)]
+		if slot.window == w-uint64(i) {
+			total += slot.estimate(s, f)
+		}
+	}
+	return float64(total)
+}
+
+// QueryAsync is the after-the-fact lookup the paper says ConQuest cannot
+// serve: asked at time now about an interval ending at victimTs, only
+// snapshots that still exist (not yet overwritten by the rotation at time
+// now) contribute. Once now - victimTs exceeds R windows, nothing survives.
+func (s *Sketch) QueryAsync(f flow.Key, victimTs, now uint64) float64 {
+	wNow := s.windowOf(now)
+	wVictim := s.windowOf(victimTs)
+	var total uint64
+	for i := 1; i < s.cfg.Snapshots; i++ {
+		if uint64(i) > wVictim {
+			break
+		}
+		w := wVictim - uint64(i)
+		// Has the rotation already reclaimed this window's slot?
+		if wNow >= w+uint64(s.cfg.Snapshots) {
+			continue
+		}
+		slot := &s.snaps[w%uint64(s.cfg.Snapshots)]
+		if slot.window == w {
+			total += slot.estimate(s, f)
+		}
+	}
+	return float64(total)
+}
+
+// Entries reports total register cells (for resource accounting).
+func (c Config) Entries() int { return c.Snapshots * c.Rows * c.CellsPerSnapshot }

@@ -1,0 +1,110 @@
+package conquest
+
+import (
+	"testing"
+
+	"printqueue/internal/flow"
+)
+
+func fkey(n byte) flow.Key {
+	return flow.Key{SrcIP: [4]byte{10, 7, 0, n}, DstIP: [4]byte{10, 7, 1, 1}, SrcPort: uint16(n), DstPort: 80, Proto: flow.ProtoTCP}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Snapshots: 4, CellsPerSnapshot: 256, WindowNs: 1000}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Snapshots: 1, CellsPerSnapshot: 256, WindowNs: 1000},
+		{Snapshots: 4, CellsPerSnapshot: 100, WindowNs: 1000},
+		{Snapshots: 4, CellsPerSnapshot: 256, WindowNs: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if got := good.Entries(); got != 4*2*256 {
+		t.Errorf("Entries = %d", got)
+	}
+}
+
+// TestQueryAtSumsRecentWindows: packets enqueued in the R-1 preceding
+// windows are counted; the current write window is not readable.
+func TestQueryAtSumsRecentWindows(t *testing.T) {
+	s, err := New(Config{Snapshots: 4, CellsPerSnapshot: 256, WindowNs: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fkey(1)
+	// 3 packets in window 5, 2 in window 6, 1 in window 7 (current = 7 at
+	// query time 7500).
+	for i := 0; i < 3; i++ {
+		s.OnEnqueue(f, 5000+uint64(i))
+	}
+	for i := 0; i < 2; i++ {
+		s.OnEnqueue(f, 6000+uint64(i))
+	}
+	s.OnEnqueue(f, 7000)
+	if got := s.QueryAt(f, 7500); got != 5 { // windows 6 and 5 and 4(empty)
+		t.Fatalf("QueryAt = %v, want 5", got)
+	}
+	// An unknown flow estimates 0 (no collisions at this load).
+	if got := s.QueryAt(fkey(99), 7500); got != 0 {
+		t.Fatalf("unknown flow = %v", got)
+	}
+}
+
+// TestRotationReclaims: windows older than R rotations are overwritten.
+func TestRotationReclaims(t *testing.T) {
+	s, _ := New(Config{Snapshots: 3, CellsPerSnapshot: 256, WindowNs: 1000, Seed: 2})
+	f := fkey(1)
+	s.OnEnqueue(f, 1000) // window 1
+	// Rotate far ahead: window 1's slot (1 % 3) is rewritten by window 4.
+	s.OnEnqueue(fkey(2), 4000)
+	if got := s.QueryAt(f, 5500); got != 0 {
+		t.Fatalf("stale window still readable: %v", got)
+	}
+}
+
+// TestQueryAsyncAgesOut is the paper's core contrast: the same victim
+// query succeeds at enqueue time but returns nothing once the rotation has
+// reclaimed the snapshots.
+func TestQueryAsyncAgesOut(t *testing.T) {
+	s, _ := New(Config{Snapshots: 4, CellsPerSnapshot: 256, WindowNs: 1000, Seed: 3})
+	f := fkey(1)
+	for i := 0; i < 10; i++ {
+		s.OnEnqueue(f, 5000+uint64(i)*100)
+	}
+	victimTs := uint64(6500)
+	s.OnEnqueue(fkey(2), victimTs)
+	// Online (at enqueue): window 5 readable.
+	if got := s.QueryAsync(f, victimTs, victimTs); got == 0 {
+		t.Fatal("online query found nothing")
+	}
+	// Much later: everything reclaimed.
+	later := victimTs + 10*1000
+	for w := uint64(7); w <= 17; w++ {
+		s.OnEnqueue(fkey(3), w*1000) // keep rotating
+	}
+	if got := s.QueryAsync(f, victimTs, later); got != 0 {
+		t.Fatalf("async query after aging returned %v, want 0", got)
+	}
+}
+
+// TestCountMinOverestimatesOnly: estimates never undercount.
+func TestCountMinOverestimatesOnly(t *testing.T) {
+	s, _ := New(Config{Snapshots: 4, CellsPerSnapshot: 64, WindowNs: 1000, Seed: 4})
+	truth := map[byte]int{}
+	for i := 0; i < 2000; i++ {
+		f := byte(i % 100)
+		truth[f]++
+		s.OnEnqueue(fkey(f), 1000+uint64(i)%900)
+	}
+	for f, n := range truth {
+		if got := s.QueryAt(fkey(f), 2500); got < float64(n) {
+			t.Fatalf("flow %d estimated %v < true %d", f, got, n)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package flowradar
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"printqueue/internal/flow"
+)
+
+func fkey(n uint16) flow.Key {
+	return flow.Key{SrcIP: [4]byte{10, byte(n >> 8), byte(n), 1}, DstIP: [4]byte{10, 0, 1, 1}, SrcPort: n, DstPort: 80, Proto: flow.ProtoTCP}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := Config{Cells: 4096, KHash: 3}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.FilterBits == 0 || c.FilterHashes == 0 {
+		t.Fatal("defaults not applied")
+	}
+	if err := (&Config{Cells: 100, KHash: 3}).Validate(); err == nil {
+		t.Error("non-power-of-two cells accepted")
+	}
+	if err := (&Config{Cells: 64, KHash: 0}).Validate(); err == nil {
+		t.Error("0 hashes accepted")
+	}
+	if err := (&Config{Cells: 64, KHash: 3, FilterBits: 100}).Validate(); err == nil {
+		t.Error("non-power-of-two filter accepted")
+	}
+}
+
+func TestXORKeyProperties(t *testing.T) {
+	a, b := fkey(1), fkey(2)
+	if xorKey(a, a) != flow.Zero {
+		t.Fatal("x^x != 0")
+	}
+	if xorKey(xorKey(a, b), b) != a {
+		t.Fatal("xor not invertible")
+	}
+	if xorKey(a, flow.Zero) != a {
+		t.Fatal("x^0 != x")
+	}
+}
+
+// TestDecodeExact: with load well under the peeling threshold, every flow
+// decodes with its exact packet count.
+func TestDecodeExact(t *testing.T) {
+	s, err := New(Config{Cells: 1024, KHash: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	want := map[uint16]uint64{}
+	for f := uint16(0); f < 200; f++ { // load factor 200*3/1024 = 0.59
+		n := uint64(1 + rng.IntN(50))
+		want[f] = n
+		for i := uint64(0); i < n; i++ {
+			s.Insert(fkey(f))
+		}
+	}
+	counts, residual := s.Decode()
+	if residual != 0 {
+		t.Fatalf("residual = %d, want 0", residual)
+	}
+	if len(counts) != len(want) {
+		t.Fatalf("decoded %d flows, want %d", len(counts), len(want))
+	}
+	for f, n := range want {
+		if counts[fkey(f)] != float64(n) {
+			t.Fatalf("flow %d = %v, want %d", f, counts[fkey(f)], n)
+		}
+	}
+}
+
+// TestDecodeOverload: far past the threshold, peeling stalls and the
+// residual reports the stranded packets.
+func TestDecodeOverload(t *testing.T) {
+	s, _ := New(Config{Cells: 64, KHash: 3, Seed: 2})
+	for f := uint16(0); f < 500; f++ {
+		s.Insert(fkey(f))
+	}
+	counts, residual := s.Decode()
+	if len(counts) == 500 && residual == 0 {
+		t.Fatal("overloaded table decoded perfectly; implausible")
+	}
+	var decoded uint64
+	for _, n := range counts {
+		decoded += uint64(n)
+	}
+	if decoded+residual < 400 {
+		t.Fatalf("decoded %d + residual %d lost too many of 500", decoded, residual)
+	}
+}
+
+func TestFlowFilterCountsFlowsOnce(t *testing.T) {
+	s, _ := New(Config{Cells: 256, KHash: 3, Seed: 3})
+	for i := 0; i < 100; i++ {
+		s.Insert(fkey(7))
+	}
+	counts, residual := s.Decode()
+	if residual != 0 || counts[fkey(7)] != 100 {
+		t.Fatalf("counts = %v, residual = %d", counts, residual)
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(Config{Cells: 64, KHash: 3, Seed: 4})
+	s.Insert(fkey(1))
+	s.Reset()
+	counts, residual := s.Decode()
+	if len(counts) != 0 || residual != 0 {
+		t.Fatalf("after reset: %v, %d", counts, residual)
+	}
+	// The filter must also clear: re-inserting counts the flow again.
+	s.Insert(fkey(1))
+	counts, _ = s.Decode()
+	if counts[fkey(1)] != 1 {
+		t.Fatalf("filter not cleared: %v", counts)
+	}
+}
+
+func TestRunner(t *testing.T) {
+	r, err := NewRunner(Config{Cells: 256, KHash: 3, Seed: 5}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := uint64(0); ts < 2000; ts += 20 {
+		r.Observe(fkey(uint16(ts%5)), ts)
+	}
+	r.Finalize()
+	if got := len(r.Intervals()); got != 2 {
+		t.Fatalf("intervals = %d, want 2", got)
+	}
+	total := r.Query(0, 2000).Total()
+	if total < 95 || total > 105 {
+		t.Fatalf("query total = %v, want ~100", total)
+	}
+	// Half-period query prorates to ~half of that period's packets.
+	half := r.Query(0, 500).Total()
+	if half < 20 || half > 30 {
+		t.Fatalf("half-period query = %v, want ~25", half)
+	}
+	if _, err := NewRunner(Config{Cells: 64, KHash: 3}, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}

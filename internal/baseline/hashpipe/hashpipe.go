@@ -1,0 +1,218 @@
+// Package hashpipe reimplements HashPipe (Sivaraman et al., SOSR 2017), the
+// d-stage heavy-hitter pipeline the paper compares against. Each stage is a
+// hash-indexed table of (flow, count) slots. A packet always claims its slot
+// in the first stage, evicting the incumbent; in later stages the carried
+// (evicted) entry either merges with a matching slot, fills an empty slot,
+// or swaps with a smaller incumbent and carries that one onward — so large
+// flows tend to stick while small ones wash out.
+//
+// As in the paper's comparison (§7.1), the structure is reset at a fixed
+// interval (PrintQueue's set period — control-plane polling is the common
+// bottleneck) and interval queries are answered by prorating the fixed
+// window's counts by the overlap fraction.
+package hashpipe
+
+import (
+	"fmt"
+
+	"printqueue/internal/flow"
+)
+
+// Config parameterizes HashPipe.
+type Config struct {
+	// Stages is d, the number of pipeline stages (paper comparison: 5).
+	Stages int
+	// SlotsPerStage is the table size per stage (paper comparison: 4096).
+	SlotsPerStage int
+	// Seed drives the per-stage hash functions.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Stages < 1 {
+		return fmt.Errorf("hashpipe: need at least 1 stage, got %d", c.Stages)
+	}
+	if c.SlotsPerStage < 1 || c.SlotsPerStage&(c.SlotsPerStage-1) != 0 {
+		return fmt.Errorf("hashpipe: slots per stage must be a power of two, got %d", c.SlotsPerStage)
+	}
+	return nil
+}
+
+// Entries returns the total register slots (for resource comparisons).
+func (c Config) Entries() int { return c.Stages * c.SlotsPerStage }
+
+type slot struct {
+	key   flow.Key
+	count uint64
+}
+
+// Sketch is one HashPipe instance covering one measurement interval.
+type Sketch struct {
+	cfg    Config
+	stages [][]slot
+}
+
+// New builds a HashPipe sketch.
+func New(cfg Config) (*Sketch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{cfg: cfg, stages: make([][]slot, cfg.Stages)}
+	for i := range s.stages {
+		s.stages[i] = make([]slot, cfg.SlotsPerStage)
+	}
+	return s, nil
+}
+
+// Reset clears all stages (interval rollover).
+func (s *Sketch) Reset() {
+	for i := range s.stages {
+		clear(s.stages[i])
+	}
+}
+
+func (s *Sketch) index(stage int, k flow.Key) int {
+	return int(k.Hash(s.cfg.Seed+uint64(stage)*0x9e3779b97f4a7c15) & uint64(s.cfg.SlotsPerStage-1))
+}
+
+// Insert records one packet of flow k.
+func (s *Sketch) Insert(k flow.Key) {
+	// Stage 0: always insert; evict the incumbent unless it matches.
+	idx := s.index(0, k)
+	sl := &s.stages[0][idx]
+	if sl.key == k {
+		sl.count++
+		return
+	}
+	carried := *sl
+	*sl = slot{key: k, count: 1}
+	if carried.key.IsZero() {
+		return
+	}
+	// Later stages: merge, fill, or swap-with-smaller.
+	for st := 1; st < s.cfg.Stages; st++ {
+		idx = s.index(st, carried.key)
+		sl = &s.stages[st][idx]
+		switch {
+		case sl.key == carried.key:
+			sl.count += carried.count
+			return
+		case sl.key.IsZero():
+			*sl = carried
+			return
+		case carried.count > sl.count:
+			carried, *sl = *sl, carried
+		}
+	}
+	// Carried entry falls off the pipeline: its packets are lost, exactly
+	// the subset-sum error HashPipe accepts.
+}
+
+// Counts returns the per-flow packet counts currently held.
+func (s *Sketch) Counts() flow.Counts {
+	out := make(flow.Counts)
+	for _, stage := range s.stages {
+		for _, sl := range stage {
+			if !sl.key.IsZero() {
+				out.Add(sl.key, float64(sl.count))
+			}
+		}
+	}
+	return out
+}
+
+// Interval is one finished measurement window: its span and its counts.
+type Interval struct {
+	Start, End uint64
+	Counts     flow.Counts
+}
+
+// Prorate estimates the per-flow counts for [start, end) from a fixed
+// interval's totals by scaling with the overlap fraction — the paper's
+// "multiplier equal to the length of the query interval over the length of
+// the total period".
+func (iv Interval) Prorate(start, end uint64) flow.Counts {
+	out := make(flow.Counts)
+	if iv.End <= iv.Start {
+		return out
+	}
+	lo, hi := start, end
+	if iv.Start > lo {
+		lo = iv.Start
+	}
+	if iv.End < hi {
+		hi = iv.End
+	}
+	if hi <= lo {
+		return out
+	}
+	frac := float64(hi-lo) / float64(iv.End-iv.Start)
+	for f, n := range iv.Counts {
+		out[f] = n * frac
+	}
+	return out
+}
+
+// Runner drives a sketch over a packet stream with fixed-interval resets,
+// retaining each finished interval for query execution. It implements the
+// same egress-hook shape as PrintQueue so experiments attach both to one
+// simulated port.
+type Runner struct {
+	sketch   *Sketch
+	periodNs uint64
+	start    uint64
+	started  bool
+	last     uint64
+	closed   []Interval
+}
+
+// NewRunner builds a runner that resets the sketch every periodNs.
+func NewRunner(cfg Config, periodNs uint64) (*Runner, error) {
+	if periodNs == 0 {
+		return nil, fmt.Errorf("hashpipe: reset period must be > 0")
+	}
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{sketch: s, periodNs: periodNs}, nil
+}
+
+// Observe records one packet of flow k dequeued at time t (non-decreasing).
+func (r *Runner) Observe(k flow.Key, t uint64) {
+	if !r.started {
+		r.started = true
+		r.start = t
+	}
+	for t-r.start >= r.periodNs {
+		r.rollover(r.start + r.periodNs)
+	}
+	r.sketch.Insert(k)
+	r.last = t
+}
+
+func (r *Runner) rollover(at uint64) {
+	r.closed = append(r.closed, Interval{Start: r.start, End: at, Counts: r.sketch.Counts()})
+	r.sketch.Reset()
+	r.start = at
+}
+
+// Finalize closes the in-progress interval.
+func (r *Runner) Finalize() {
+	if r.started && r.last >= r.start {
+		r.rollover(r.last + 1)
+	}
+}
+
+// Query prorates across every finished interval overlapping [start, end).
+func (r *Runner) Query(start, end uint64) flow.Counts {
+	out := make(flow.Counts)
+	for _, iv := range r.closed {
+		out.Merge(iv.Prorate(start, end))
+	}
+	return out
+}
+
+// Intervals returns the finished intervals.
+func (r *Runner) Intervals() []Interval { return r.closed }

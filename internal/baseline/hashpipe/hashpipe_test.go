@@ -1,0 +1,153 @@
+package hashpipe
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"printqueue/internal/flow"
+)
+
+func fkey(n uint16) flow.Key {
+	return flow.Key{SrcIP: [4]byte{10, byte(n >> 8), byte(n), 1}, DstIP: [4]byte{10, 0, 1, 1}, SrcPort: n, DstPort: 80, Proto: flow.ProtoTCP}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Stages: 5, SlotsPerStage: 4096}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{Stages: 0, SlotsPerStage: 16}).Validate(); err == nil {
+		t.Error("0 stages accepted")
+	}
+	if err := (Config{Stages: 2, SlotsPerStage: 17}).Validate(); err == nil {
+		t.Error("non-power-of-two slots accepted")
+	}
+	if got := (Config{Stages: 5, SlotsPerStage: 4096}).Entries(); got != 20480 {
+		t.Errorf("Entries = %d", got)
+	}
+}
+
+func TestExactWhenUnderLoaded(t *testing.T) {
+	s, err := New(Config{Stages: 3, SlotsPerStage: 256, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint16]int{1: 100, 2: 50, 3: 7}
+	for f, n := range want {
+		for i := 0; i < n; i++ {
+			s.Insert(fkey(f))
+		}
+	}
+	counts := s.Counts()
+	for f, n := range want {
+		if counts[fkey(f)] != float64(n) {
+			t.Fatalf("flow %d = %v, want %d", f, counts[fkey(f)], n)
+		}
+	}
+}
+
+// TestHeavyHitterRetention: overload the table with mice; the elephants'
+// counts must survive mostly intact — HashPipe's core property.
+func TestHeavyHitterRetention(t *testing.T) {
+	s, err := New(Config{Stages: 4, SlotsPerStage: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	elephants := []uint16{10001, 10002, 10003}
+	inserted := map[uint16]int{}
+	for i := 0; i < 30000; i++ {
+		var f uint16
+		if rng.IntN(2) == 0 {
+			f = elephants[rng.IntN(len(elephants))]
+		} else {
+			f = uint16(rng.IntN(2000)) // mice
+		}
+		inserted[f]++
+		s.Insert(fkey(f))
+	}
+	counts := s.Counts()
+	for _, e := range elephants {
+		got := counts[fkey(e)]
+		want := float64(inserted[e])
+		if got < 0.5*want {
+			t.Fatalf("elephant %d retained %v of %v", e, got, want)
+		}
+		if got > want {
+			t.Fatalf("elephant %d overcounted: %v > %v", e, got, want)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	s, _ := New(Config{Stages: 2, SlotsPerStage: 16, Seed: 3})
+	s.Insert(fkey(1))
+	s.Reset()
+	if got := s.Counts(); len(got) != 0 {
+		t.Fatalf("after reset: %v", got)
+	}
+}
+
+func TestProrate(t *testing.T) {
+	iv := Interval{Start: 1000, End: 2000, Counts: flow.Counts{fkey(1): 100}}
+	tests := []struct {
+		qs, qe uint64
+		want   float64
+	}{
+		{1000, 2000, 100}, // full overlap
+		{1250, 1750, 50},  // half
+		{0, 1000, 0},      // before
+		{2000, 3000, 0},   // after
+		{0, 4000, 100},    // superset
+		{1900, 5000, 10},  // partial tail
+	}
+	for _, tt := range tests {
+		got := iv.Prorate(tt.qs, tt.qe)[fkey(1)]
+		if got != tt.want {
+			t.Errorf("Prorate(%d, %d) = %v, want %v", tt.qs, tt.qe, got, tt.want)
+		}
+	}
+	empty := Interval{Start: 5, End: 5}
+	if got := empty.Prorate(0, 10); len(got) != 0 {
+		t.Errorf("degenerate interval prorated: %v", got)
+	}
+}
+
+func TestRunnerIntervals(t *testing.T) {
+	r, err := NewRunner(Config{Stages: 2, SlotsPerStage: 64, Seed: 4}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full periods plus a partial one.
+	for ts := uint64(0); ts < 2500; ts += 10 {
+		r.Observe(fkey(uint16(ts%3)), ts)
+	}
+	r.Finalize()
+	ivs := r.Intervals()
+	if len(ivs) != 3 {
+		t.Fatalf("intervals = %d, want 3", len(ivs))
+	}
+	if ivs[0].Start != 0 || ivs[0].End != 1000 || ivs[1].End != 2000 {
+		t.Fatalf("interval bounds: %+v", ivs[:2])
+	}
+	// A query spanning one full period returns that period's counts.
+	q := r.Query(1000, 2000)
+	if q.Total() != ivs[1].Counts.Total() {
+		t.Fatalf("query = %v, interval = %v", q.Total(), ivs[1].Counts.Total())
+	}
+	if _, err := NewRunner(Config{Stages: 1, SlotsPerStage: 2}, 0); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestRunnerCarriesGapPeriods(t *testing.T) {
+	r, _ := NewRunner(Config{Stages: 2, SlotsPerStage: 64, Seed: 4}, 100)
+	r.Observe(fkey(1), 0)
+	r.Observe(fkey(2), 1000) // 10 periods later
+	r.Finalize()
+	// The big time gap must produce interval rollovers without losing
+	// either packet.
+	total := r.Query(0, 2000).Total()
+	if total != 2 {
+		t.Fatalf("query total = %v, want 2", total)
+	}
+}

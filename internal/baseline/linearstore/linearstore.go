@@ -1,0 +1,44 @@
+// Package linearstore models the storage cost of linear-space telemetry
+// systems (the NetSight / BurstRadar class the paper's Figure 14(a)
+// compares against): one record per packet, so offline storage grows
+// linearly with the monitored duration, versus PrintQueue's
+// exponential-coverage time windows whose register footprint is fixed.
+package linearstore
+
+import (
+	"printqueue/internal/core/timewindow"
+)
+
+// RecordBytes is the per-packet record size the model charges: a 32-bit
+// flow digest plus a 32-bit timestamp, the minimum a BurstRadar-style
+// snapshotter ships to the collector.
+const RecordBytes = 8
+
+// LinearBytes returns the bytes a linear-storage system needs to retain
+// culprit information for a span of durationNs at the given packet rate.
+func LinearBytes(durationNs uint64, packetsPerSec float64) float64 {
+	return float64(durationNs) / 1e9 * packetsPerSec * RecordBytes
+}
+
+// PrintQueueBytes returns the register bytes PrintQueue needs to cover the
+// same duration: full window sets (cellBytes per cell) for the ceil of the
+// duration over the set period — the control plane must retain that many
+// checkpoints to answer queries over the whole span.
+func PrintQueueBytes(cfg timewindow.Config, durationNs uint64, cellBytes int) float64 {
+	set := cfg.SetPeriod()
+	snapshots := (durationNs + set - 1) / set
+	if snapshots == 0 {
+		snapshots = 1
+	}
+	return float64(snapshots) * float64(cfg.EntriesPerSnapshot()) * float64(cellBytes)
+}
+
+// Ratio returns linear-storage bytes over PrintQueue bytes for a duration —
+// the y-axis of Figure 14(a).
+func Ratio(cfg timewindow.Config, durationNs uint64, packetsPerSec float64, cellBytes int) float64 {
+	pq := PrintQueueBytes(cfg, durationNs, cellBytes)
+	if pq == 0 {
+		return 0
+	}
+	return LinearBytes(durationNs, packetsPerSec) / pq
+}

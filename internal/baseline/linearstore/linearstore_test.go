@@ -1,0 +1,58 @@
+package linearstore
+
+import (
+	"testing"
+
+	"printqueue/internal/core/timewindow"
+)
+
+func cfg(alpha uint) timewindow.Config {
+	return timewindow.Config{M0: 6, K: 12, Alpha: alpha, T: 4, MinPktTxDelayNs: 80}
+}
+
+func TestLinearBytesScalesWithDuration(t *testing.T) {
+	const pps = 1e6
+	b1 := LinearBytes(1e9, pps) // 1 second
+	b2 := LinearBytes(2e9, pps)
+	if b1 != pps*RecordBytes {
+		t.Fatalf("LinearBytes(1s) = %v, want %v", b1, pps*RecordBytes)
+	}
+	if b2 != 2*b1 {
+		t.Fatalf("linear storage not linear: %v vs %v", b2, b1)
+	}
+}
+
+func TestPrintQueueBytesStepwise(t *testing.T) {
+	c := cfg(1)
+	set := c.SetPeriod()
+	one := PrintQueueBytes(c, set/2, 8)
+	alsoOne := PrintQueueBytes(c, set, 8)
+	two := PrintQueueBytes(c, set+1, 8)
+	if one != alsoOne {
+		t.Fatalf("within one set period the cost must be flat: %v vs %v", one, alsoOne)
+	}
+	if two != 2*one {
+		t.Fatalf("crossing the set period must add one snapshot: %v vs %v", two, one)
+	}
+	if zero := PrintQueueBytes(c, 0, 8); zero != one {
+		t.Fatalf("zero duration still needs one snapshot: %v", zero)
+	}
+}
+
+func TestRatioGrowsWithDurationAndAlpha(t *testing.T) {
+	const pps = 12.5e6
+	// Within a set period, the ratio grows linearly with duration.
+	r1 := Ratio(cfg(2), 1<<20, pps, 8)
+	r2 := Ratio(cfg(2), 1<<22, pps, 8)
+	if r2 <= r1 {
+		t.Fatalf("ratio did not grow with duration: %v -> %v", r1, r2)
+	}
+	// Larger alpha covers more time in the same registers: higher ratio
+	// for long durations.
+	d := uint64(1) << 28
+	ra1 := Ratio(cfg(1), d, pps, 8)
+	ra3 := Ratio(cfg(3), d, pps, 8)
+	if ra3 <= ra1 {
+		t.Fatalf("alpha=3 ratio %v not above alpha=1 ratio %v", ra3, ra1)
+	}
+}

@@ -1,0 +1,537 @@
+// Package control implements PrintQueue's control-plane analysis program
+// (paper §6): per-port activation with partitioned register arrays, frozen
+// periodic register reads with double buffering, on-demand data-plane
+// queries served from a third ("special") register set, and query execution
+// against the checkpointed state.
+package control
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"printqueue/internal/core/qmonitor"
+	"printqueue/internal/core/registers"
+	"printqueue/internal/core/timewindow"
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+)
+
+// Config configures a PrintQueue deployment on one switch.
+type Config struct {
+	// TW configures the time windows of every activated port.
+	TW timewindow.Config
+	// QM configures the queue monitor of every activated port/queue.
+	QM qmonitor.Config
+	// Ports lists the egress ports PrintQueue is activated on. As in the
+	// paper, the count is rounded up to a power of two to size the register
+	// partitions.
+	Ports []int
+	// QueuesPerPort is the number of priority classes tracked per port by
+	// the queue monitor (the time windows are scheduling-agnostic and need
+	// only one instance per port). Default 1.
+	QueuesPerPort int
+	// PollPeriodNs overrides the periodic checkpoint interval. Default (0)
+	// is the set period of the time windows, the paper's upper bound for
+	// loss-free polling.
+	PollPeriodNs uint64
+	// ReadRateEntriesPerSec models the control plane's register read
+	// throughput (analysis-program I/O + PCIe). 0 means unlimited. When a
+	// checkpoint read would take longer than the poll period, the flip is
+	// counted as infeasible — the regime above the paper's Figure-13
+	// "data exchange limit" line.
+	ReadRateEntriesPerSec float64
+	// DPTrigger, if non-nil, is evaluated for every dequeued packet; when
+	// it returns true (and no data-plane query is in flight) the packet
+	// triggers an on-demand freeze and query of its own queuing interval.
+	DPTrigger func(p *pktrec.Packet) bool
+	// MaxCheckpoints bounds the retained checkpoint history per port
+	// (0 = unlimited). Older checkpoints are discarded FIFO.
+	MaxCheckpoints int
+}
+
+func (c *Config) normalize() error {
+	if err := c.TW.Validate(); err != nil {
+		return err
+	}
+	if err := c.QM.Validate(); err != nil {
+		return err
+	}
+	if len(c.Ports) == 0 {
+		return fmt.Errorf("control: no ports activated")
+	}
+	seen := make(map[int]bool, len(c.Ports))
+	for _, p := range c.Ports {
+		if p < 0 {
+			return fmt.Errorf("control: negative port %d", p)
+		}
+		if seen[p] {
+			return fmt.Errorf("control: duplicate port %d", p)
+		}
+		seen[p] = true
+	}
+	if c.QueuesPerPort <= 0 {
+		c.QueuesPerPort = 1
+	}
+	if c.PollPeriodNs == 0 {
+		c.PollPeriodNs = c.TW.SetPeriod()
+	}
+	return nil
+}
+
+// setSel identifies one register set by its two selector bits (Figure 8).
+type setSel struct{ dp, flip bool }
+
+func (s setSel) index() int {
+	i := 0
+	if s.flip {
+		i |= 1
+	}
+	if s.dp {
+		i |= 2
+	}
+	return i
+}
+
+// toggleFlip returns the selector with the periodic (second-highest) bit
+// flipped.
+func (s setSel) toggleFlip() setSel { return setSel{dp: s.dp, flip: !s.flip} }
+
+// toggleDP returns the selector with the data-plane-query (highest) bit
+// flipped.
+func (s setSel) toggleDP() setSel { return setSel{dp: !s.dp, flip: s.flip} }
+
+// Checkpoint is one frozen read of a port's register state.
+type Checkpoint struct {
+	// FreezeTime is when the registers were frozen; the checkpoint covers
+	// dequeues in (PrevFreeze, FreezeTime].
+	FreezeTime uint64
+	PrevFreeze uint64
+	// Special marks checkpoints produced by a data-plane query freeze
+	// rather than the periodic poll.
+	Special bool
+
+	TW *timewindow.Snapshot
+	QM []*qmonitor.Snapshot // one per queue
+
+	filterOnce sync.Once
+	filtered   *timewindow.Filtered // lazy Algorithm-3 result
+}
+
+// Filtered returns the checkpoint's time windows with Algorithm 3 applied,
+// computing it on first use. It is safe for concurrent use, so query
+// goroutines may share checkpoints.
+func (c *Checkpoint) Filtered() *timewindow.Filtered {
+	c.filterOnce.Do(func() { c.filtered = c.TW.Filter() })
+	return c.filtered
+}
+
+// DPQuery is the record of one data-plane-triggered query.
+type DPQuery struct {
+	Port        int
+	Queue       int
+	Victim      flow.Key
+	EnqTS       uint64
+	DeqTS       uint64
+	EnqQdepth   int
+	FreezeTime  uint64
+	Result      flow.Counts
+	Checkpoint  *Checkpoint
+	ReadLatency uint64 // ns the special-register read occupied the front end
+}
+
+// Stats aggregates control-plane accounting across ports.
+type Stats struct {
+	Checkpoints     int   // periodic freezes taken
+	SpecialFreezes  int   // data-plane query freezes
+	EntriesRead     int64 // register entries copied to the control plane
+	InfeasibleFlips int   // freezes whose read exceeded the poll period
+	DPSuppressed    int   // data-plane triggers ignored because a read was in flight
+	PacketsObserved int64
+}
+
+type portState struct {
+	id     int
+	prefix int // rank among activated ports; the q-bit register prefix
+
+	// mu guards the checkpoint and data-plane query histories, which the
+	// single data-plane goroutine appends to and any number of query
+	// goroutines read. The per-packet hot path takes no lock.
+	mu sync.RWMutex
+
+	tw [4]*timewindow.Windows // by setSel.index()
+	qm [][4]*qmonitor.Monitor // [queue][set]
+
+	writeSel      setSel
+	lastFlip      uint64
+	started       bool
+	dpLockedUntil uint64
+
+	checkpoints []*Checkpoint
+	dpQueries   []*DPQuery
+}
+
+// System is the per-switch PrintQueue instance: the data-plane structures
+// for every activated port plus the analysis program's state.
+type System struct {
+	cfg    Config
+	layout registers.Layout
+	// twFiles[i] backs window i across all ports and register sets.
+	twFiles []*registers.File[timewindow.Cell]
+	qmFile  *registers.File[qmonitor.Entry]
+	ports   map[int]*portState
+	stats   Stats
+}
+
+// New builds a System. Register arrays are allocated for r(#ports)
+// partitions exactly as §6.1 describes.
+func New(cfg Config) (*System, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	qmSlots := len(cfg.Ports) * cfg.QueuesPerPort
+	s := &System{
+		cfg:    cfg,
+		layout: registers.Layout{PortBits: registers.PortBitsFor(len(cfg.Ports)), IndexBits: int(cfg.TW.K)},
+		ports:  make(map[int]*portState, len(cfg.Ports)),
+	}
+	s.twFiles = make([]*registers.File[timewindow.Cell], cfg.TW.T)
+	for i := range s.twFiles {
+		s.twFiles[i] = registers.NewFile[timewindow.Cell](s.layout)
+	}
+	qmLayout := registers.Layout{
+		PortBits:  registers.PortBitsFor(qmSlots),
+		IndexBits: bitsFor(cfg.QM.Entries()),
+	}
+	s.qmFile = registers.NewFile[qmonitor.Entry](qmLayout)
+
+	for rank, port := range cfg.Ports {
+		ps := &portState{id: port, prefix: rank}
+		for _, sel := range allSets() {
+			storage := make([][]timewindow.Cell, cfg.TW.T)
+			for i := range storage {
+				storage[i] = s.twFiles[i].View(sel.dp, sel.flip, rank)
+			}
+			w, err := timewindow.New(cfg.TW, storage)
+			if err != nil {
+				return nil, err
+			}
+			ps.tw[sel.index()] = w
+		}
+		ps.qm = make([][4]*qmonitor.Monitor, cfg.QueuesPerPort)
+		for q := 0; q < cfg.QueuesPerPort; q++ {
+			for _, sel := range allSets() {
+				view := s.qmFile.View(sel.dp, sel.flip, rank*cfg.QueuesPerPort+q)
+				m, err := qmonitor.New(cfg.QM, view[:cfg.QM.Entries()])
+				if err != nil {
+					return nil, err
+				}
+				ps.qm[q][sel.index()] = m
+			}
+		}
+		s.ports[port] = ps
+	}
+	return s, nil
+}
+
+func allSets() [4]setSel {
+	return [4]setSel{
+		{dp: false, flip: false},
+		{dp: false, flip: true},
+		{dp: true, flip: false},
+		{dp: true, flip: true},
+	}
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Config returns the system configuration (after normalization).
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the control-plane counters. Call it from the
+// data-plane goroutine or after the data plane has stopped; the counters
+// are not synchronized with OnDequeue.
+func (s *System) Stats() Stats { return s.stats }
+
+// Layout returns the time-window register layout (for SRAM accounting).
+func (s *System) Layout() registers.Layout { return s.layout }
+
+// entriesPerCheckpoint is the register entries copied per frozen read.
+func (s *System) entriesPerCheckpoint() int {
+	return s.cfg.TW.EntriesPerSnapshot() + s.cfg.QueuesPerPort*s.cfg.QM.EntriesPerSnapshot()
+}
+
+// readLatencyNs returns how long one checkpoint read occupies the control
+// plane under the configured I/O budget.
+func (s *System) readLatencyNs() uint64 {
+	if s.cfg.ReadRateEntriesPerSec <= 0 {
+		return 0
+	}
+	return uint64(float64(s.entriesPerCheckpoint()) / s.cfg.ReadRateEntriesPerSec * 1e9)
+}
+
+// OnDequeue is the egress-pipeline entry point: it is called for every
+// packet leaving an activated port, in dequeue order, with metadata filled
+// in. It updates the active register set, performs due periodic flips, and
+// evaluates the data-plane query trigger. Packets for ports without
+// PrintQueue are ignored (the ingress flow table found no match).
+func (s *System) OnDequeue(p *pktrec.Packet) {
+	ps, ok := s.ports[p.Port]
+	if !ok {
+		return
+	}
+	now := p.Meta.DeqTimestamp()
+	if !ps.started {
+		ps.started = true
+		ps.lastFlip = now
+	} else if now-ps.lastFlip >= s.cfg.PollPeriodNs {
+		s.flip(ps, now)
+	}
+	s.stats.PacketsObserved++
+
+	ps.tw[ps.writeSel.index()].Insert(p.Flow, now)
+	queue := p.Queue
+	if queue < 0 || queue >= s.cfg.QueuesPerPort {
+		queue = s.cfg.QueuesPerPort - 1
+	}
+	ps.qm[queue][ps.writeSel.index()].Observe(p.Flow, p.Meta.EnqQdepth)
+
+	if s.cfg.DPTrigger != nil && s.cfg.DPTrigger(p) {
+		if now < ps.dpLockedUntil {
+			s.stats.DPSuppressed++
+		} else {
+			s.dataPlaneQuery(ps, p, queue, now)
+		}
+	}
+}
+
+// freeze snapshots the current write set of a port into a checkpoint and
+// charges the read cost.
+func (s *System) freeze(ps *portState, now uint64, special bool) *Checkpoint {
+	sel := ps.writeSel.index()
+	cp := &Checkpoint{
+		FreezeTime: now,
+		PrevFreeze: ps.lastFlip,
+		Special:    special,
+		TW:         ps.tw[sel].Snapshot(),
+		QM:         make([]*qmonitor.Snapshot, s.cfg.QueuesPerPort),
+	}
+	for q := range cp.QM {
+		cp.QM[q] = ps.qm[q][sel].Snapshot()
+	}
+	s.stats.EntriesRead += int64(s.entriesPerCheckpoint())
+	return cp
+}
+
+// retire appends a checkpoint, enforcing the history bound.
+func (ps *portState) retire(cp *Checkpoint, max int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.checkpoints = append(ps.checkpoints, cp)
+	if max > 0 && len(ps.checkpoints) > max {
+		ps.checkpoints = ps.checkpoints[len(ps.checkpoints)-max:]
+	}
+}
+
+// snapshotCheckpoints returns a stable view of the checkpoint history.
+func (ps *portState) snapshotCheckpoints() []*Checkpoint {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	out := make([]*Checkpoint, len(ps.checkpoints))
+	copy(out, ps.checkpoints)
+	return out
+}
+
+// flip performs one periodic frozen read: checkpoint the active set, then
+// direct subsequent updates to the other periodic set (second-highest index
+// bit toggled), seeding the queue monitor's top/seq continuity.
+func (s *System) flip(ps *portState, now uint64) {
+	cp := s.freeze(ps, now, false)
+	ps.retire(cp, s.cfg.MaxCheckpoints)
+	s.stats.Checkpoints++
+	if lat := s.readLatencyNs(); lat > s.cfg.PollPeriodNs {
+		s.stats.InfeasibleFlips++
+	}
+	oldSel := ps.writeSel.index()
+	ps.writeSel = ps.writeSel.toggleFlip()
+	newSel := ps.writeSel.index()
+	for q := 0; q < s.cfg.QueuesPerPort; q++ {
+		ps.qm[q][newSel].Adopt(ps.qm[q][oldSel].Top(), ps.qm[q][oldSel].Seq())
+	}
+	ps.lastFlip = now
+}
+
+// dataPlaneQuery performs the §6.2 on-demand read: freeze the current data
+// into the "special" set position, direct updates to the set with the
+// highest-order bit flipped, lock further data-plane queries until the
+// special read completes, and execute the victim's own queuing interval as
+// the query.
+func (s *System) dataPlaneQuery(ps *portState, p *pktrec.Packet, queue int, now uint64) {
+	cp := s.freeze(ps, now, true)
+	ps.retire(cp, s.cfg.MaxCheckpoints)
+	s.stats.SpecialFreezes++
+	oldSel := ps.writeSel.index()
+	ps.writeSel = ps.writeSel.toggleDP()
+	newSel := ps.writeSel.index()
+	for q := 0; q < s.cfg.QueuesPerPort; q++ {
+		ps.qm[q][newSel].Adopt(ps.qm[q][oldSel].Top(), ps.qm[q][oldSel].Seq())
+	}
+	ps.lastFlip = now
+	lat := s.readLatencyNs()
+	ps.dpLockedUntil = now + lat
+
+	dq := &DPQuery{
+		Port:        ps.id,
+		Queue:       queue,
+		Victim:      p.Flow,
+		EnqTS:       p.Meta.EnqTimestamp,
+		DeqTS:       p.Meta.DeqTimestamp(),
+		EnqQdepth:   p.Meta.EnqQdepth,
+		FreezeTime:  now,
+		Checkpoint:  cp,
+		ReadLatency: lat,
+	}
+	// The victim's queuing interval can reach past the just-frozen special
+	// set into earlier register sets (a deep queue holds more history than
+	// one set accumulated since its last rotation), so the query runs over
+	// the whole disjoint-coverage checkpoint chain ending at the special
+	// freeze. The recency advantage of the data-plane query is preserved:
+	// the newest, least-compressed data is in the special set.
+	dq.Result = queryCheckpoints(ps.snapshotCheckpoints(), dq.EnqTS, dq.DeqTS)
+	ps.mu.Lock()
+	ps.dpQueries = append(ps.dpQueries, dq)
+	ps.mu.Unlock()
+}
+
+// FinalizePort forces a final checkpoint of a port's live registers at the
+// given time, so post-run asynchronous queries can reach the most recent
+// traffic. Typically called once after the simulation drains.
+func (s *System) FinalizePort(port int, now uint64) error {
+	ps, ok := s.ports[port]
+	if !ok {
+		return fmt.Errorf("control: port %d not activated", port)
+	}
+	s.flip(ps, now)
+	return nil
+}
+
+// Finalize checkpoints every activated port at the given time.
+func (s *System) Finalize(now uint64) {
+	for _, port := range s.cfg.Ports {
+		_ = s.FinalizePort(port, now)
+	}
+}
+
+// Checkpoints returns the retained checkpoint history of a port, oldest
+// first. The returned slice is a stable copy; it is safe to use while the
+// data plane keeps running.
+func (s *System) Checkpoints(port int) []*Checkpoint {
+	if ps, ok := s.ports[port]; ok {
+		return ps.snapshotCheckpoints()
+	}
+	return nil
+}
+
+// DPQueries returns the data-plane queries executed on a port, oldest
+// first, as a stable copy.
+func (s *System) DPQueries(port int) []*DPQuery {
+	ps, ok := s.ports[port]
+	if !ok {
+		return nil
+	}
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	out := make([]*DPQuery, len(ps.dpQueries))
+	copy(out, ps.dpQueries)
+	return out
+}
+
+// QueryInterval executes an asynchronous time-window query: estimate the
+// per-flow packet counts dequeued on the port during [start, end). The
+// interval is split across the periodic checkpoints covering it (§6.3) and
+// the per-checkpoint results are aggregated.
+func (s *System) QueryInterval(port int, start, end uint64) (flow.Counts, error) {
+	ps, ok := s.ports[port]
+	if !ok {
+		return nil, fmt.Errorf("control: port %d not activated", port)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("control: empty query interval [%d, %d)", start, end)
+	}
+	return queryCheckpoints(ps.snapshotCheckpoints(), start, end), nil
+}
+
+// queryCheckpoints splits [start, end) across the checkpoints' disjoint
+// coverages and aggregates the per-checkpoint estimates. Both periodic and
+// special checkpoints contribute: "the time periods covered by the
+// periodically polled registers and special registers do not overlap,
+// because [a] packet at any time point would belong to only one register
+// set" (§6.2). PrevFreeze chaining keeps the coverages disjoint.
+func queryCheckpoints(cps []*Checkpoint, start, end uint64) flow.Counts {
+	total := make(flow.Counts)
+	for _, cp := range cps {
+		lo, hi := start, end
+		if cp.PrevFreeze > lo {
+			lo = cp.PrevFreeze
+		}
+		if cp.FreezeTime < hi {
+			hi = cp.FreezeTime
+		}
+		if hi <= lo {
+			continue
+		}
+		total.Merge(cp.Filtered().Query(lo, hi))
+	}
+	return total
+}
+
+// QueryOriginal executes a queue-monitor query: the original causes of
+// congestion at the time instant closest to t, for the given port and
+// priority queue. The checkpoint nearest to t is merged with its
+// predecessor so buildup recorded before a register flip is retained.
+func (s *System) QueryOriginal(port, queue int, t uint64) ([]qmonitor.Culprit, error) {
+	ps, ok := s.ports[port]
+	if !ok {
+		return nil, fmt.Errorf("control: port %d not activated", port)
+	}
+	if queue < 0 || queue >= s.cfg.QueuesPerPort {
+		return nil, fmt.Errorf("control: queue %d out of range", queue)
+	}
+	cps := ps.snapshotCheckpoints()
+	if len(cps) == 0 {
+		return nil, fmt.Errorf("control: no checkpoints for port %d", port)
+	}
+	idx := nearestCheckpoint(cps, t)
+	// Register-set rotation scatters the staircase across sets: a level
+	// written while set A was active is absent from set B's snapshot.
+	// Sequence numbers are globally monotonic, so merging every checkpoint
+	// up to the chosen one (keeping the highest-sequence record per level
+	// and half) reconstructs the monitor's exact state at that freeze.
+	snap := cps[0].QM[queue]
+	for i := 1; i <= idx; i++ {
+		snap = qmonitor.Merge(snap, cps[i].QM[queue])
+	}
+	return snap.OriginalCulprits(), nil
+}
+
+// nearestCheckpoint returns the index of the checkpoint whose freeze time
+// is closest to t.
+func nearestCheckpoint(cps []*Checkpoint, t uint64) int {
+	i := sort.Search(len(cps), func(i int) bool { return cps[i].FreezeTime >= t })
+	if i == len(cps) {
+		return len(cps) - 1
+	}
+	if i == 0 {
+		return 0
+	}
+	if cps[i].FreezeTime-t < t-cps[i-1].FreezeTime {
+		return i
+	}
+	return i - 1
+}

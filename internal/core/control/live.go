@@ -1,0 +1,166 @@
+package control
+
+import (
+	"fmt"
+	"sync"
+)
+
+// QueryServer serves asynchronous queries concurrently with a running data
+// plane. The paper's analysis program accepts remote requests while the
+// switch keeps forwarding; here, any number of goroutines may submit
+// requests while one goroutine drives OnDequeue. Queries read only the
+// frozen checkpoint history (stable copies), never the live registers, so
+// the per-packet hot path stays lock-free.
+type QueryServer struct {
+	sys *System
+
+	mu      sync.Mutex
+	started bool
+	reqs    chan queryRequest
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// QueryKind distinguishes the two query families of §6.3.
+type QueryKind int
+
+const (
+	// IntervalQuery asks for per-flow packet counts over a dequeue-time
+	// interval (direct/indirect culprits).
+	IntervalQuery QueryKind = iota
+	// OriginalQuery asks for the original causes of congestion at a time
+	// instant.
+	OriginalQuery
+)
+
+// QueryResult carries one answered query.
+type QueryResult struct {
+	Kind   QueryKind
+	Port   int
+	Queue  int
+	Start  uint64
+	End    uint64
+	Counts map[string]float64 // flow string -> packets
+	Err    error
+}
+
+type queryRequest struct {
+	kind       QueryKind
+	port       int
+	queue      int
+	start, end uint64
+	resp       chan QueryResult
+}
+
+// NewQueryServer builds a server over an existing System.
+func NewQueryServer(sys *System) *QueryServer {
+	return &QueryServer{sys: sys}
+}
+
+// Start launches n worker goroutines. It is idempotent until Stop.
+func (q *QueryServer) Start(workers int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.started {
+		return
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	q.reqs = make(chan queryRequest)
+	q.done = make(chan struct{})
+	q.started = true
+	for i := 0; i < workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+}
+
+// Stop shuts the workers down, waiting for in-flight queries.
+func (q *QueryServer) Stop() {
+	q.mu.Lock()
+	if !q.started {
+		q.mu.Unlock()
+		return
+	}
+	close(q.done)
+	q.started = false
+	q.mu.Unlock()
+	q.wg.Wait()
+}
+
+func (q *QueryServer) worker() {
+	defer q.wg.Done()
+	for {
+		select {
+		case <-q.done:
+			return
+		case req := <-q.reqs:
+			req.resp <- q.execute(req)
+		}
+	}
+}
+
+func (q *QueryServer) execute(req queryRequest) QueryResult {
+	res := QueryResult{
+		Kind:  req.kind,
+		Port:  req.port,
+		Queue: req.queue,
+		Start: req.start,
+		End:   req.end,
+	}
+	switch req.kind {
+	case IntervalQuery:
+		counts, err := q.sys.QueryInterval(req.port, req.start, req.end)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Counts = make(map[string]float64, len(counts))
+		for f, n := range counts {
+			res.Counts[f.String()] = n
+		}
+	case OriginalQuery:
+		culprits, err := q.sys.QueryOriginal(req.port, req.queue, req.start)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Counts = make(map[string]float64)
+		for _, c := range culprits {
+			res.Counts[c.Flow.String()]++
+		}
+	default:
+		res.Err = fmt.Errorf("control: unknown query kind %d", req.kind)
+	}
+	return res
+}
+
+// submit dispatches a request, failing fast if the server is stopped.
+func (q *QueryServer) submit(req queryRequest) QueryResult {
+	q.mu.Lock()
+	started := q.started
+	reqs := q.reqs
+	done := q.done
+	q.mu.Unlock()
+	if !started {
+		return QueryResult{Err: fmt.Errorf("control: query server not running")}
+	}
+	req.resp = make(chan QueryResult, 1)
+	select {
+	case reqs <- req:
+		return <-req.resp
+	case <-done:
+		return QueryResult{Err: fmt.Errorf("control: query server stopped")}
+	}
+}
+
+// Interval executes an interval (direct/indirect culprit) query.
+func (q *QueryServer) Interval(port int, start, end uint64) QueryResult {
+	return q.submit(queryRequest{kind: IntervalQuery, port: port, start: start, end: end})
+}
+
+// Original executes an original-culprit query at time t.
+func (q *QueryServer) Original(port, queue int, t uint64) QueryResult {
+	return q.submit(queryRequest{kind: OriginalQuery, port: port, queue: queue, start: t})
+}

@@ -1,0 +1,119 @@
+package control
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestQueryServerBasics(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.PollPeriodNs = 500
+	s, _ := New(cfg)
+	var ts uint64 = 1000
+	for i := 0; i < 100; i++ {
+		ts += 10
+		s.OnDequeue(deq(fkey(byte(i%3)), 0, ts-40, ts, 8))
+	}
+	s.Finalize(ts + 1)
+
+	qs := NewQueryServer(s)
+	// Queries before Start fail fast.
+	if res := qs.Interval(0, 1000, ts); res.Err == nil {
+		t.Fatal("query on stopped server succeeded")
+	}
+	qs.Start(2)
+	defer qs.Stop()
+
+	res := qs.Interval(0, 1000, ts+1)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	var total float64
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total < 90 || total > 110 {
+		t.Fatalf("live query total %v, want ~100", total)
+	}
+	orig := qs.Original(0, 0, ts)
+	if orig.Err != nil {
+		t.Fatal(orig.Err)
+	}
+	if bad := qs.Interval(42, 0, 1); bad.Err == nil {
+		t.Fatal("unknown port succeeded")
+	}
+}
+
+// TestQueryServerConcurrentWithDataPlane drives the data plane in one
+// goroutine while several query goroutines hammer the server. Run with
+// -race to validate the locking discipline.
+func TestQueryServerConcurrentWithDataPlane(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.PollPeriodNs = 200
+	cfg.MaxCheckpoints = 64
+	s, _ := New(cfg)
+	qs := NewQueryServer(s)
+	qs.Start(4)
+	defer qs.Stop()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Data-plane goroutine.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var ts uint64 = 1000
+		for i := 0; i < 50000; i++ {
+			ts += 10
+			s.OnDequeue(deq(fkey(byte(i%5)), 0, ts-40, ts, (i%64)*4))
+		}
+		close(stop)
+	}()
+
+	// Query goroutines.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var ts uint64 = 1000
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ts += 500
+				res := qs.Interval(0, ts, ts+1000)
+				if res.Err != nil {
+					t.Errorf("goroutine %d: %v", g, res.Err)
+					return
+				}
+				if res2 := qs.Original(0, 0, ts); res2.Err != nil &&
+					res2.Err.Error() != "control: no checkpoints for port 0" {
+					t.Errorf("goroutine %d original: %v", g, res2.Err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestQueryServerStartStopIdempotent(t *testing.T) {
+	s, _ := New(testConfig(0))
+	qs := NewQueryServer(s)
+	qs.Start(1)
+	qs.Start(3) // no-op
+	qs.Stop()
+	qs.Stop() // no-op
+	if res := qs.Interval(0, 0, 1); res.Err == nil {
+		t.Fatal("query after stop succeeded")
+	}
+	// Restart works.
+	qs.Start(1)
+	defer qs.Stop()
+	if res := qs.Interval(0, 5, 4); res.Err == nil {
+		t.Fatal("empty interval accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package control
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// NetServer exposes the analysis program's queries over TCP — the paper's
+// Figure-3 "Asynchronous Query" arrow: higher-layer applications send a
+// request to the analysis program running on the switch CPU.
+//
+// The wire protocol is newline-delimited JSON. Request:
+//
+//	{"kind":"interval","port":0,"start":1000,"end":2000}
+//	{"kind":"original","port":0,"queue":0,"at":1500}
+//
+// Response:
+//
+//	{"counts":{"10.0.0.1:80>10.0.0.2:90/tcp":12.5,...}}
+//	{"error":"control: port 9 not activated"}
+//
+// One response per request, in order, per connection.
+type NetServer struct {
+	qs *QueryServer
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NetRequest is the wire form of a query request.
+type NetRequest struct {
+	Kind  string `json:"kind"` // "interval" or "original"
+	Port  int    `json:"port"`
+	Queue int    `json:"queue,omitempty"`
+	Start uint64 `json:"start,omitempty"`
+	End   uint64 `json:"end,omitempty"`
+	At    uint64 `json:"at,omitempty"`
+}
+
+// NetResponse is the wire form of a query response.
+type NetResponse struct {
+	Counts map[string]float64 `json:"counts,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+// ServeQueries starts a TCP listener on addr (e.g. "127.0.0.1:0") backed by
+// the query server, which must already be started. Close shuts it down.
+func ServeQueries(addr string, qs *QueryServer) (*NetServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &NetServer{qs: qs, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with port 0).
+func (s *NetServer) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes open connections, and waits for handler
+// goroutines to drain.
+func (s *NetServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *NetServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *NetServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	// A query interval/point is ~100 bytes of JSON; a generous line cap
+	// guards against hostile input.
+	const maxLine = 1 << 16
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 4096), maxLine)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req NetRequest
+		resp := NetResponse{}
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp.Error = fmt.Sprintf("bad request: %v", err)
+		} else {
+			resp = s.execute(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *NetServer) execute(req NetRequest) NetResponse {
+	var res QueryResult
+	switch req.Kind {
+	case "interval":
+		res = s.qs.Interval(req.Port, req.Start, req.End)
+	case "original":
+		res = s.qs.Original(req.Port, req.Queue, req.At)
+	default:
+		return NetResponse{Error: fmt.Sprintf("unknown kind %q", req.Kind)}
+	}
+	if res.Err != nil {
+		return NetResponse{Error: res.Err.Error()}
+	}
+	return NetResponse{Counts: res.Counts}
+}
+
+// QueryClient is a minimal client for the NetServer protocol.
+type QueryClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	enc  *json.Encoder
+}
+
+// Dial connects to a NetServer.
+func Dial(addr string) (*QueryClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryClient{conn: conn, br: bufio.NewReader(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *QueryClient) Close() error { return c.conn.Close() }
+
+func (c *QueryClient) roundTrip(req NetRequest) (map[string]float64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	line, err := c.br.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var resp NetResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	return resp.Counts, nil
+}
+
+// Interval queries per-flow packet counts over [start, end) on a port.
+func (c *QueryClient) Interval(port int, start, end uint64) (map[string]float64, error) {
+	return c.roundTrip(NetRequest{Kind: "interval", Port: port, Start: start, End: end})
+}
+
+// Original queries the original culprits at time t on a port/queue.
+func (c *QueryClient) Original(port, queue int, t uint64) (map[string]float64, error) {
+	return c.roundTrip(NetRequest{Kind: "original", Port: port, Queue: queue, At: t})
+}

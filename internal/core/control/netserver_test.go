@@ -1,0 +1,133 @@
+package control
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// netFixture builds a populated system with a running query + net server.
+func netFixture(t *testing.T) (*NetServer, uint64) {
+	t.Helper()
+	cfg := testConfig(0)
+	s, _ := New(cfg)
+	var ts uint64 = 1000
+	for i := 0; i < 60; i++ {
+		ts += 10
+		s.OnDequeue(deq(fkey(byte(i%3)), 0, ts-40, ts, 8))
+	}
+	s.Finalize(ts + 1)
+	qs := NewQueryServer(s)
+	qs.Start(2)
+	t.Cleanup(qs.Stop)
+	srv, err := ServeQueries("127.0.0.1:0", qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, ts
+}
+
+func TestNetServerRoundTrip(t *testing.T) {
+	srv, ts := netFixture(t)
+	client, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	counts, err := client.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, n := range counts {
+		total += n
+	}
+	if total < 50 || total > 70 {
+		t.Fatalf("remote interval total %v, want ~60", total)
+	}
+
+	orig, err := client.Original(0, 0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig) == 0 {
+		t.Fatal("remote original query returned nothing")
+	}
+
+	// Errors travel back as errors.
+	if _, err := client.Interval(9, 0, 1); err == nil {
+		t.Fatal("remote unknown-port query succeeded")
+	}
+	if _, err := client.Interval(0, 5, 5); err == nil {
+		t.Fatal("remote empty interval succeeded")
+	}
+}
+
+func TestNetServerMalformedInput(t *testing.T) {
+	srv, _ := netFixture(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for _, line := range []string{"not json", `{"kind":"bogus"}`, ""} {
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		if line == "" {
+			continue // blank lines are skipped, no response
+		}
+		resp, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(resp, "error") {
+			t.Fatalf("malformed input got %q, want an error response", resp)
+		}
+	}
+}
+
+func TestNetServerConcurrentClients(t *testing.T) {
+	srv, ts := netFixture(t)
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 50; i++ {
+				if _, err := client.Interval(0, 1000, ts+1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNetServerClose(t *testing.T) {
+	srv, _ := netFixture(t)
+	addr := srv.Addr().String()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := net.Dial("tcp", addr); err == nil {
+		// A new listener may have grabbed the port; tolerate connection
+		// but expect no response server-side. Just ensure no panic.
+		t.Log("port rebound by another listener; skipping strict check")
+	}
+}

@@ -1,0 +1,96 @@
+package control
+
+import (
+	"math/rand/v2"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+)
+
+// Trigger decides, in the egress pipeline, whether a dequeued packet should
+// initiate a data-plane query of its own queuing interval. The paper's
+// §6.2 names three example triggers — "packets with unusually high queuing
+// delay, sampled members of a high-priority flow, or a special
+// end-host-generated probe" — implemented here, plus combinators.
+type Trigger = func(p *pktrec.Packet) bool
+
+// DepthTrigger fires for packets whose enqueue-time queue depth is at least
+// cells.
+func DepthTrigger(cells int) Trigger {
+	return func(p *pktrec.Packet) bool { return p.Meta.EnqQdepth >= cells }
+}
+
+// DelayTrigger fires for packets that spent at least delayNs in the queue —
+// "packets with unusually high queuing delay".
+func DelayTrigger(delayNs uint64) Trigger {
+	return func(p *pktrec.Packet) bool { return p.Meta.DeqTimedelta >= delayNs }
+}
+
+// FlowSampleTrigger fires for roughly one in n packets of the given flow —
+// "sampled members of a high-priority flow". The sampling is hash-based on
+// the dequeue timestamp so it needs no per-flow state, as a data-plane
+// implementation would.
+func FlowSampleTrigger(f flow.Key, n uint64, seed uint64) Trigger {
+	if n == 0 {
+		n = 1
+	}
+	return func(p *pktrec.Packet) bool {
+		if p.Flow != f {
+			return false
+		}
+		return mixTrigger(p.Meta.DeqTimestamp()^seed)%n == 0
+	}
+}
+
+// ProbeTrigger fires for end-host-generated probe packets, identified by a
+// reserved destination port.
+func ProbeTrigger(probePort uint16) Trigger {
+	return func(p *pktrec.Packet) bool { return p.Flow.DstPort == probePort }
+}
+
+// QueueClassTrigger fires only for packets of the given priority class,
+// gating another trigger — e.g. diagnose only high-priority victims.
+func QueueClassTrigger(queue int, inner Trigger) Trigger {
+	return func(p *pktrec.Packet) bool { return p.Queue == queue && inner(p) }
+}
+
+// RandomSampleTrigger fires for roughly one in n packets, uniformly.
+func RandomSampleTrigger(n uint64, seed uint64) Trigger {
+	if n == 0 {
+		n = 1
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x2545f4914f6cdd1d))
+	return func(p *pktrec.Packet) bool { return rng.Uint64N(n) == 0 }
+}
+
+// AnyTrigger fires when any of the given triggers fires.
+func AnyTrigger(triggers ...Trigger) Trigger {
+	return func(p *pktrec.Packet) bool {
+		for _, t := range triggers {
+			if t(p) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// AllTrigger fires when every given trigger fires.
+func AllTrigger(triggers ...Trigger) Trigger {
+	return func(p *pktrec.Packet) bool {
+		for _, t := range triggers {
+			if !t(p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// mixTrigger is a SplitMix64-style avalanche for stateless sampling.
+func mixTrigger(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

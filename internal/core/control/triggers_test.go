@@ -1,0 +1,130 @@
+package control
+
+import (
+	"testing"
+
+	"printqueue/internal/pktrec"
+)
+
+func tpkt(depth int, delay uint64, dstPort uint16, queue int) *pktrec.Packet {
+	p := deq(fkey(1), 0, 1000, 1000+delay, depth)
+	p.Flow.DstPort = dstPort
+	p.Queue = queue
+	return p
+}
+
+func TestDepthTrigger(t *testing.T) {
+	tr := DepthTrigger(100)
+	if tr(tpkt(99, 0, 80, 0)) || !tr(tpkt(100, 0, 80, 0)) {
+		t.Fatal("depth threshold wrong")
+	}
+}
+
+func TestDelayTrigger(t *testing.T) {
+	tr := DelayTrigger(500)
+	if tr(tpkt(0, 499, 80, 0)) || !tr(tpkt(0, 500, 80, 0)) {
+		t.Fatal("delay threshold wrong")
+	}
+}
+
+func TestFlowSampleTrigger(t *testing.T) {
+	target := fkey(1)
+	target.DstPort = 80
+	tr := FlowSampleTrigger(target, 4, 7)
+	fired, total := 0, 10000
+	for i := 0; i < total; i++ {
+		p := tpkt(0, uint64(i)*13, 80, 0)
+		if tr(p) {
+			fired++
+		}
+	}
+	if fired < total/8 || fired > total/2 {
+		t.Fatalf("1-in-4 sampler fired %d of %d", fired, total)
+	}
+	// Other flows never fire.
+	other := tpkt(0, 13, 81, 0)
+	for i := 0; i < 100; i++ {
+		other.Meta.DeqTimedelta = uint64(i)
+		if tr(other) {
+			t.Fatal("sampler fired for a different flow")
+		}
+	}
+	// n=0 is clamped to 1 (always fire for the flow).
+	always := FlowSampleTrigger(target, 0, 7)
+	if !always(tpkt(0, 1, 80, 0)) {
+		t.Fatal("n=0 sampler did not fire")
+	}
+}
+
+func TestProbeTrigger(t *testing.T) {
+	tr := ProbeTrigger(7777)
+	if !tr(tpkt(0, 0, 7777, 0)) || tr(tpkt(0, 0, 80, 0)) {
+		t.Fatal("probe port matching wrong")
+	}
+}
+
+func TestQueueClassTrigger(t *testing.T) {
+	tr := QueueClassTrigger(1, DepthTrigger(10))
+	if tr(tpkt(50, 0, 80, 0)) {
+		t.Fatal("fired for wrong class")
+	}
+	if !tr(tpkt(50, 0, 80, 1)) {
+		t.Fatal("did not fire for matching class")
+	}
+	if tr(tpkt(5, 0, 80, 1)) {
+		t.Fatal("inner trigger ignored")
+	}
+}
+
+func TestRandomSampleTrigger(t *testing.T) {
+	tr := RandomSampleTrigger(10, 3)
+	fired := 0
+	for i := 0; i < 10000; i++ {
+		if tr(tpkt(0, 0, 80, 0)) {
+			fired++
+		}
+	}
+	if fired < 700 || fired > 1400 {
+		t.Fatalf("1-in-10 sampler fired %d of 10000", fired)
+	}
+}
+
+func TestTriggerCombinators(t *testing.T) {
+	deep := DepthTrigger(100)
+	slow := DelayTrigger(500)
+	any := AnyTrigger(deep, slow)
+	all := AllTrigger(deep, slow)
+	cases := []struct {
+		p        *pktrec.Packet
+		any, all bool
+	}{
+		{tpkt(200, 600, 80, 0), true, true},
+		{tpkt(200, 10, 80, 0), true, false},
+		{tpkt(10, 600, 80, 0), true, false},
+		{tpkt(10, 10, 80, 0), false, false},
+	}
+	for i, c := range cases {
+		if any(c.p) != c.any || all(c.p) != c.all {
+			t.Fatalf("case %d: any=%v all=%v, want %v/%v", i, any(c.p), all(c.p), c.any, c.all)
+		}
+	}
+}
+
+// TestTriggerIntegration wires a DelayTrigger into a live System.
+func TestTriggerIntegration(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.DPTrigger = DelayTrigger(400)
+	s, _ := New(cfg)
+	var ts uint64 = 1000
+	for i := 0; i < 20; i++ {
+		ts += 10
+		delay := uint64(50)
+		if i == 10 {
+			delay = 450
+		}
+		s.OnDequeue(deq(fkey(1), 0, ts-delay, ts, 5))
+	}
+	if got := len(s.DPQueries(0)); got != 1 {
+		t.Fatalf("dp queries = %d, want 1", got)
+	}
+}

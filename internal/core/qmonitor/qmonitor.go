@@ -1,0 +1,273 @@
+// Package qmonitor implements PrintQueue's queue monitor (paper §5): a
+// sparse stack, indexed by queue depth, that retains the packets whose
+// arrivals brought the queue to its current level — the "original culprits"
+// of the congestion regime.
+//
+// Conceptually the monitor is a register array with one entry per
+// buffer-allocation granule of queue depth, plus a stack-top register.
+// Whenever a packet changes the observed depth from l1 to l2, its flow ID
+// and a monotonically increasing sequence number are written to entry l2 —
+// into the entry's upper half for increases, lower half for decreases — and
+// the top pointer moves to l2. Stale entries left under the top by earlier,
+// higher peaks are removed at query time by the sequence-number staircase
+// walk (Filter).
+package qmonitor
+
+import (
+	"fmt"
+
+	"printqueue/internal/flow"
+)
+
+// Config parameterizes a queue monitor.
+type Config struct {
+	// MaxDepthCells is the maximum queue depth to track, in 80-byte cells.
+	// Depths beyond it are clamped to the last entry.
+	MaxDepthCells int
+	// GranuleCells is the buffer-allocation granularity: one register entry
+	// covers this many cells of depth. Must divide the array into at least
+	// two entries.
+	GranuleCells int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxDepthCells <= 0 {
+		return fmt.Errorf("qmonitor: MaxDepthCells must be > 0, got %d", c.MaxDepthCells)
+	}
+	if c.GranuleCells <= 0 {
+		return fmt.Errorf("qmonitor: GranuleCells must be > 0, got %d", c.GranuleCells)
+	}
+	if c.Entries() < 2 {
+		return fmt.Errorf("qmonitor: fewer than 2 entries (max depth %d, granule %d)", c.MaxDepthCells, c.GranuleCells)
+	}
+	return nil
+}
+
+// Entries returns the register array length: max depth divided by the
+// granule, plus the zero level.
+func (c Config) Entries() int { return c.MaxDepthCells/c.GranuleCells + 1 }
+
+// Level converts a depth in cells to a register level.
+func (c Config) Level(depthCells int) int {
+	if depthCells < 0 {
+		depthCells = 0
+	}
+	l := depthCells / c.GranuleCells
+	if max := c.Entries() - 1; l > max {
+		l = max
+	}
+	return l
+}
+
+// Half is one half of a register entry: the record of the packet that most
+// recently moved the queue depth to this level in the given direction.
+type Half struct {
+	Flow  flow.Key
+	Seq   uint64
+	Valid bool
+}
+
+// Entry is one register entry: the upper half records depth increases
+// landing at this level, the lower half records decreases.
+type Entry struct {
+	Up   Half
+	Down Half
+}
+
+// Monitor is one register set of the queue monitor. As with the time
+// windows, storage may be supplied externally (a register-file partition)
+// or allocated privately.
+type Monitor struct {
+	cfg     Config
+	entries []Entry
+	top     int    // stack-top pointer: latest observed level
+	seq     uint64 // monotonically increasing sequence number
+	primed  bool   // whether any packet has been observed
+}
+
+// New builds a monitor over the given storage (len == cfg.Entries()), or
+// private storage if nil.
+func New(cfg Config, storage []Entry) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if storage == nil {
+		storage = make([]Entry, cfg.Entries())
+	}
+	if len(storage) != cfg.Entries() {
+		return nil, fmt.Errorf("qmonitor: storage length %d, want %d", len(storage), cfg.Entries())
+	}
+	return &Monitor{cfg: cfg, entries: storage}, nil
+}
+
+// Config returns the monitor's configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Top returns the current stack-top level.
+func (m *Monitor) Top() int { return m.top }
+
+// Seq returns the current sequence counter.
+func (m *Monitor) Seq() uint64 { return m.seq }
+
+// Adopt seeds the monitor's top/seq state from another register set. The
+// control plane uses it when flipping sets so the sequence numbers stay
+// globally monotonic and the staircase filter keeps working across flips.
+func (m *Monitor) Adopt(top int, seq uint64) {
+	m.top = top
+	m.seq = seq
+	m.primed = true
+}
+
+// Observe processes one packet in egress order with the queue depth (in
+// cells) it saw at enqueue. If the depth level changed relative to the
+// previous packet, the packet's flow is recorded at the new level with the
+// next sequence number and the top pointer is updated.
+func (m *Monitor) Observe(f flow.Key, enqDepthCells int) {
+	l2 := m.cfg.Level(enqDepthCells)
+	if m.primed && l2 == m.top {
+		return
+	}
+	rising := !m.primed || l2 > m.top
+	m.primed = true
+	m.seq++
+	if rising {
+		m.entries[l2].Up = Half{Flow: f, Seq: m.seq, Valid: true}
+	} else {
+		m.entries[l2].Down = Half{Flow: f, Seq: m.seq, Valid: true}
+	}
+	m.top = l2
+}
+
+// Snapshot copies the register state for query execution.
+func (m *Monitor) Snapshot() *Snapshot {
+	entries := make([]Entry, len(m.entries))
+	copy(entries, m.entries)
+	return &Snapshot{cfg: m.cfg, entries: entries, top: m.top}
+}
+
+// EntriesPerSnapshot returns the register entries read per snapshot (the
+// array plus the top-pointer register).
+func (c Config) EntriesPerSnapshot() int { return c.Entries() + 1 }
+
+// Snapshot is a frozen copy of a queue monitor register set.
+type Snapshot struct {
+	cfg     Config
+	entries []Entry
+	top     int
+}
+
+// Config returns the snapshot's configuration.
+func (s *Snapshot) Config() Config { return s.cfg }
+
+// Top returns the snapshot's stack-top level.
+func (s *Snapshot) Top() int { return s.top }
+
+// Culprit is one original culprit: the packet whose arrival raised the
+// queue to Level.
+type Culprit struct {
+	Flow  flow.Key
+	Level int
+	Seq   uint64
+}
+
+// OriginalCulprits walks the array from level 0 to the top pointer,
+// tracking the largest sequence number seen so far (over both halves);
+// an increase entry survives only if its sequence number exceeds every
+// sequence number at lower levels. The surviving entries are exactly the
+// packets that built the queue to its current level — stale records from
+// earlier, higher peaks are discarded (paper §5 and §6.3).
+func (s *Snapshot) OriginalCulprits() []Culprit {
+	var out []Culprit
+	var maxSeq uint64
+	for level := 0; level <= s.top && level < len(s.entries); level++ {
+		e := s.entries[level]
+		if e.Up.Valid && e.Up.Seq > maxSeq {
+			out = append(out, Culprit{Flow: e.Up.Flow, Level: level, Seq: e.Up.Seq})
+			maxSeq = e.Up.Seq
+		}
+		if e.Down.Valid && e.Down.Seq > maxSeq {
+			maxSeq = e.Down.Seq
+		}
+	}
+	return out
+}
+
+// OriginalCulpritsNoFilter is the ablation variant that returns every valid
+// increase entry at or below the top pointer, without the sequence-number
+// staircase. Stale peaks then wrongly implicate long-gone packets.
+func (s *Snapshot) OriginalCulpritsNoFilter() []Culprit {
+	var out []Culprit
+	for level := 0; level <= s.top && level < len(s.entries); level++ {
+		if e := s.entries[level]; e.Up.Valid {
+			out = append(out, Culprit{Flow: e.Up.Flow, Level: level, Seq: e.Up.Seq})
+		}
+	}
+	return out
+}
+
+// FlowCounts aggregates culprits per flow, the paper's reporting format.
+func FlowCounts(culprits []Culprit) flow.Counts {
+	c := make(flow.Counts, len(culprits))
+	for _, cu := range culprits {
+		c.Add(cu.Flow, 1)
+	}
+	return c
+}
+
+// Merge combines two snapshots of the same configuration by keeping, per
+// level and half, the record with the larger sequence number, and the later
+// top pointer (by the monitor's global sequence ordering). The control
+// plane merges the current and previous checkpoints so original culprits
+// recorded before a register-set flip are not lost.
+func Merge(a, b *Snapshot) *Snapshot {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.cfg != b.cfg {
+		panic("qmonitor: merging snapshots with different configs")
+	}
+	out := &Snapshot{cfg: a.cfg, entries: make([]Entry, len(a.entries))}
+	for i := range out.entries {
+		ea, eb := a.entries[i], b.entries[i]
+		out.entries[i].Up = newerHalf(ea.Up, eb.Up)
+		out.entries[i].Down = newerHalf(ea.Down, eb.Down)
+	}
+	// The snapshot with the larger maximum sequence number is the more
+	// recent one; its top pointer reflects the current queue level.
+	if maxSeq(b) >= maxSeq(a) {
+		out.top = b.top
+	} else {
+		out.top = a.top
+	}
+	return out
+}
+
+func newerHalf(a, b Half) Half {
+	switch {
+	case !a.Valid:
+		return b
+	case !b.Valid:
+		return a
+	case b.Seq > a.Seq:
+		return b
+	default:
+		return a
+	}
+}
+
+func maxSeq(s *Snapshot) uint64 {
+	var m uint64
+	for _, e := range s.entries {
+		if e.Up.Valid && e.Up.Seq > m {
+			m = e.Up.Seq
+		}
+		if e.Down.Valid && e.Down.Seq > m {
+			m = e.Down.Seq
+		}
+	}
+	return m
+}

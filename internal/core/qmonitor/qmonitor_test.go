@@ -1,0 +1,221 @@
+package qmonitor
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"printqueue/internal/flow"
+)
+
+func fkey(c byte) flow.Key {
+	return flow.Key{
+		SrcIP:   [4]byte{10, 0, 0, c},
+		DstIP:   [4]byte{10, 0, 1, 1},
+		SrcPort: 1000,
+		DstPort: 80,
+		Proto:   flow.ProtoTCP,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{MaxDepthCells: 32768, GranuleCells: 2}, true},
+		{Config{MaxDepthCells: 0, GranuleCells: 2}, false},
+		{Config{MaxDepthCells: 100, GranuleCells: 0}, false},
+		{Config{MaxDepthCells: 1, GranuleCells: 2}, false}, // < 2 entries
+	}
+	for _, tt := range tests {
+		if err := tt.cfg.Validate(); (err == nil) != tt.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", tt.cfg, err, tt.ok)
+		}
+	}
+}
+
+func TestLevel(t *testing.T) {
+	c := Config{MaxDepthCells: 100, GranuleCells: 10}
+	if got := c.Entries(); got != 11 {
+		t.Fatalf("Entries = %d, want 11", got)
+	}
+	tests := []struct{ depth, want int }{
+		{-5, 0}, {0, 0}, {9, 0}, {10, 1}, {99, 9}, {100, 10}, {5000, 10},
+	}
+	for _, tt := range tests {
+		if got := c.Level(tt.depth); got != tt.want {
+			t.Errorf("Level(%d) = %d, want %d", tt.depth, got, tt.want)
+		}
+	}
+}
+
+func mon(t *testing.T) *Monitor {
+	t.Helper()
+	m, err := New(Config{MaxDepthCells: 100, GranuleCells: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFigure7 reproduces the paper's queue-monitor example: packet A brings
+// the queue to 2, B to 5, the queue drains back to 2 (observed by C), and D
+// brings it to 7. The filtered original culprits are A and D; B's entry at
+// level 5 is stale.
+func TestFigure7(t *testing.T) {
+	m, err := New(Config{MaxDepthCells: 10, GranuleCells: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, B, C, D := fkey('A'), fkey('B'), fkey('C'), fkey('D')
+	m.Observe(A, 2) // rise to 2
+	m.Observe(B, 5) // rise to 5
+	m.Observe(C, 2) // drain back to 2
+	m.Observe(D, 7) // rise to 7
+	snap := m.Snapshot()
+	if snap.Top() != 7 {
+		t.Fatalf("top = %d, want 7", snap.Top())
+	}
+	culprits := snap.OriginalCulprits()
+	counts := FlowCounts(culprits)
+	if len(counts) != 2 || counts[A] != 1 || counts[D] != 1 {
+		t.Fatalf("culprits = %v, want {A, D}", counts)
+	}
+	// The unfiltered ablation wrongly includes B's stale peak.
+	noFilter := FlowCounts(snap.OriginalCulpritsNoFilter())
+	if noFilter[B] != 1 {
+		t.Fatalf("no-filter ablation = %v, want B included", noFilter)
+	}
+}
+
+func TestEqualLevelIgnored(t *testing.T) {
+	m := mon(t)
+	m.Observe(fkey('A'), 30)
+	seq := m.Seq()
+	m.Observe(fkey('B'), 35) // same level (3): no update
+	if m.Seq() != seq {
+		t.Fatal("equal-level observation advanced the sequence counter")
+	}
+	counts := FlowCounts(m.Snapshot().OriginalCulprits())
+	if counts[fkey('A')] != 1 || counts[fkey('B')] != 0 {
+		t.Fatalf("counts = %v, want only A", counts)
+	}
+}
+
+func TestFirstObservationPrimes(t *testing.T) {
+	m := mon(t)
+	// The first packet ever observed is recorded even at level 0.
+	m.Observe(fkey('A'), 5)
+	if m.Top() != 0 {
+		t.Fatalf("top = %d, want 0", m.Top())
+	}
+	culprits := m.Snapshot().OriginalCulprits()
+	if len(culprits) != 1 || culprits[0].Flow != fkey('A') {
+		t.Fatalf("culprits = %v, want A at level 0", culprits)
+	}
+}
+
+func TestDrainRiseDrainRise(t *testing.T) {
+	m := mon(t)
+	A, B, C, D := fkey('A'), fkey('B'), fkey('C'), fkey('D')
+	m.Observe(A, 20)  // level 2
+	m.Observe(B, 100) // level 10
+	m.Observe(C, 40)  // drain to level 4
+	m.Observe(D, 70)  // rise to level 7
+	counts := FlowCounts(m.Snapshot().OriginalCulprits())
+	// A (level 2) still culpable; B's level-10 record is above top; D
+	// explains 7. B wrote only at level 10, so levels 3..4 have no entry.
+	if counts[A] != 1 || counts[D] != 1 || counts[B] != 0 {
+		t.Fatalf("counts = %v, want A and D", counts)
+	}
+}
+
+func TestAdoptContinuity(t *testing.T) {
+	// Split observations across two register sets, as the control plane's
+	// periodic flip does, and check the merged snapshot equals the
+	// single-set result.
+	single := mon(t)
+	a := mon(t)
+	b := mon(t)
+	obs := []struct {
+		f     flow.Key
+		depth int
+	}{
+		{fkey('A'), 20}, {fkey('B'), 50}, {fkey('C'), 30}, {fkey('D'), 80}, {fkey('E'), 60}, {fkey('F'), 90},
+	}
+	for _, o := range obs {
+		single.Observe(o.f, o.depth)
+	}
+	for _, o := range obs[:3] {
+		a.Observe(o.f, o.depth)
+	}
+	b.Adopt(a.Top(), a.Seq())
+	for _, o := range obs[3:] {
+		b.Observe(o.f, o.depth)
+	}
+	want := FlowCounts(single.Snapshot().OriginalCulprits())
+	got := FlowCounts(Merge(a.Snapshot(), b.Snapshot()).OriginalCulprits())
+	if len(want) != len(got) {
+		t.Fatalf("merged %v, single-set %v", got, want)
+	}
+	for f, n := range want {
+		if got[f] != n {
+			t.Fatalf("merged %v, single-set %v", got, want)
+		}
+	}
+}
+
+func TestMergeNil(t *testing.T) {
+	m := mon(t)
+	m.Observe(fkey('A'), 20)
+	s := m.Snapshot()
+	if Merge(nil, s) != s || Merge(s, nil) != s {
+		t.Fatal("merge with nil should return the other snapshot")
+	}
+}
+
+// TestStaircaseInvariant property-checks the filter: surviving culprits
+// have strictly increasing levels AND strictly increasing sequence numbers,
+// and the count never exceeds top+1.
+func TestStaircaseInvariant(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < 200; trial++ {
+		m, err := New(Config{MaxDepthCells: 64, GranuleCells: 1}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			m.Observe(fkey(byte(rng.IntN(26))+'A'), rng.IntN(64))
+		}
+		snap := m.Snapshot()
+		culprits := snap.OriginalCulprits()
+		if len(culprits) > snap.Top()+1 {
+			t.Fatalf("%d culprits for top %d", len(culprits), snap.Top())
+		}
+		for i := 1; i < len(culprits); i++ {
+			if culprits[i].Level <= culprits[i-1].Level {
+				t.Fatalf("levels not increasing: %v", culprits)
+			}
+			if culprits[i].Seq <= culprits[i-1].Seq {
+				t.Fatalf("seqs not increasing: %v", culprits)
+			}
+		}
+	}
+}
+
+func TestStorageValidation(t *testing.T) {
+	cfg := Config{MaxDepthCells: 100, GranuleCells: 10}
+	if _, err := New(cfg, make([]Entry, 5)); err == nil {
+		t.Fatal("wrong storage length accepted")
+	}
+	if _, err := New(cfg, make([]Entry, cfg.Entries())); err != nil {
+		t.Fatalf("exact storage rejected: %v", err)
+	}
+}
+
+func TestEntriesPerSnapshot(t *testing.T) {
+	cfg := Config{MaxDepthCells: 100, GranuleCells: 10}
+	if got := cfg.EntriesPerSnapshot(); got != 12 { // 11 entries + top
+		t.Fatalf("EntriesPerSnapshot = %d, want 12", got)
+	}
+}

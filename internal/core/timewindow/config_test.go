@@ -1,0 +1,167 @@
+package timewindow
+
+import (
+	"math"
+	"testing"
+)
+
+func validConfig() Config {
+	return Config{M0: 6, K: 12, Alpha: 2, T: 4, MinPktTxDelayNs: 80}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"paper UW config", func(c *Config) {}, true},
+		{"paper WS config", func(c *Config) { c.M0, c.Alpha, c.MinPktTxDelayNs = 10, 1, 1200 }, true},
+		{"zero T", func(c *Config) { c.T = 0 }, false},
+		{"zero k", func(c *Config) { c.K = 0 }, false},
+		{"huge k", func(c *Config) { c.K = 25 }, false},
+		{"zero alpha", func(c *Config) { c.Alpha = 0 }, false},
+		{"huge alpha", func(c *Config) { c.Alpha = 9 }, false},
+		{"timestamp overflow", func(c *Config) { c.M0, c.Alpha, c.T = 30, 8, 8 }, false},
+		{"zero delay", func(c *Config) { c.MinPktTxDelayNs = 0 }, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := validConfig()
+			tt.mutate(&c)
+			err := c.Validate()
+			if tt.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tt.ok && err == nil {
+				t.Fatal("expected error, got nil")
+			}
+		})
+	}
+}
+
+func TestM0ForDelay(t *testing.T) {
+	tests := []struct {
+		d    float64
+		want uint
+	}{
+		{80, 6},    // UW: 100 B at 10 Gbps
+		{1200, 10}, // WS/DM: MTU at 10 Gbps
+		{64, 6},    // exact power of two
+		{63.9, 5},  // just below
+		{1, 0},     // degenerate
+		{51.2, 5},  // 64 B at 10 Gbps
+	}
+	for _, tt := range tests {
+		if got := M0ForDelay(tt.d); got != tt.want {
+			t.Errorf("M0ForDelay(%v) = %d, want %d", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestMinPktTxDelay(t *testing.T) {
+	if got := MinPktTxDelay(100, 10e9); math.Abs(got-80) > 1e-9 {
+		t.Errorf("100B at 10Gbps = %v ns, want 80", got)
+	}
+	if got := MinPktTxDelay(1500, 10e9); math.Abs(got-1200) > 1e-9 {
+		t.Errorf("1500B at 10Gbps = %v ns, want 1200", got)
+	}
+}
+
+func TestPeriods(t *testing.T) {
+	c := validConfig() // m0=6, k=12, alpha=2, T=4
+	if got := c.Cells(); got != 4096 {
+		t.Fatalf("Cells = %d, want 4096", got)
+	}
+	// Cell periods: 2^6, 2^8, 2^10, 2^12.
+	wantCell := []uint64{64, 256, 1024, 4096}
+	for i, w := range wantCell {
+		if got := c.CellPeriod(i); got != w {
+			t.Errorf("CellPeriod(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Window periods: cell period * 4096.
+	for i, w := range wantCell {
+		if got := c.WindowPeriod(i); got != w*4096 {
+			t.Errorf("WindowPeriod(%d) = %d, want %d", i, got, w*4096)
+		}
+	}
+	// Set period: sum of window periods = (2^(alpha*T)-1)/(2^alpha-1) * 2^(m0+k).
+	var sum uint64
+	for i := 0; i < c.T; i++ {
+		sum += c.WindowPeriod(i)
+	}
+	if got := c.SetPeriod(); got != sum {
+		t.Errorf("SetPeriod = %d, want %d", got, sum)
+	}
+	closed := (uint64(1)<<(c.Alpha*uint(c.T)) - 1) / (uint64(1)<<c.Alpha - 1) * (1 << (c.M0 + c.K))
+	if got := c.SetPeriod(); got != closed {
+		t.Errorf("SetPeriod = %d, closed form %d", got, closed)
+	}
+}
+
+// TestFigure5 checks the paper's worked TTS decomposition: timestamp
+// 0xAAA9105A with m0=7, k=12 splits into cycle 0b1010101010101 and index
+// 0b001000100000.
+func TestFigure5(t *testing.T) {
+	c := Config{M0: 7, K: 12, Alpha: 1, T: 2, MinPktTxDelayNs: 200}
+	tts := c.TTS(0xAAA9105A)
+	cycle, idx := c.Split(tts)
+	if want := uint64(0b1010101010101); cycle != want {
+		t.Errorf("cycle = %b, want %b", cycle, want)
+	}
+	if want := 0b001000100000; idx != want {
+		t.Errorf("index = %b, want %b", idx, want)
+	}
+}
+
+func TestZ0(t *testing.T) {
+	c := validConfig()
+	if got, want := c.Z0(), 64.0/80.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Z0 = %v, want %v", got, want)
+	}
+	// z is clamped below 1 when the cell period exceeds the delay.
+	c.MinPktTxDelayNs = 10
+	if got := c.Z0(); got >= 1 {
+		t.Errorf("Z0 = %v, want < 1", got)
+	}
+}
+
+func TestCoefficients(t *testing.T) {
+	c := validConfig()
+	coeff := c.Coefficients()
+	if len(coeff) != c.T {
+		t.Fatalf("len = %d, want %d", len(coeff), c.T)
+	}
+	if coeff[0] != 1 {
+		t.Fatalf("coefficient[0] = %v, want 1", coeff[0])
+	}
+	// Hand-computed first step: z = 0.8, p = 1 - 0.64 = 0.36,
+	// ratio = z*(1-p^4)/(1-p)/4.
+	z := 0.8
+	p := 1 - z*z
+	want := z * (1 - math.Pow(p, 4)) / (1 - p) / 4
+	if math.Abs(coeff[1]-want) > 1e-12 {
+		t.Errorf("coefficient[1] = %v, want %v", coeff[1], want)
+	}
+	// Coefficients are strictly decreasing in (0, 1]: every hop compresses.
+	for i := 1; i < len(coeff); i++ {
+		if coeff[i] <= 0 || coeff[i] >= coeff[i-1] {
+			t.Errorf("coefficient[%d] = %v not in (0, %v)", i, coeff[i], coeff[i-1])
+		}
+	}
+}
+
+func TestCoefficientsAcrossConfigs(t *testing.T) {
+	// Larger alpha compresses more: coefficient[1] shrinks as alpha grows.
+	prev := math.Inf(1)
+	for alpha := uint(1); alpha <= 3; alpha++ {
+		c := Config{M0: 6, K: 12, Alpha: alpha, T: 2, MinPktTxDelayNs: 80}
+		coeff := c.Coefficients()
+		if coeff[1] >= prev {
+			t.Errorf("alpha=%d: coefficient[1]=%v not smaller than alpha=%d's %v",
+				alpha, coeff[1], alpha-1, prev)
+		}
+		prev = coeff[1]
+	}
+}

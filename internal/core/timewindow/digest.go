@@ -1,0 +1,89 @@
+package timewindow
+
+import "printqueue/internal/flow"
+
+// On hardware a time-window cell stores a fixed-width flow digest (e.g. a
+// 32-bit CRC of the 5-tuple), not the tuple itself; the analysis program
+// resolves digests back to flow IDs using state it learns out-of-band
+// (ingress flow reports, FlowRadar-style decoders, or prior queries). The
+// simulator stores exact keys — the paper notes its accuracy losses "are
+// not caused by hash collisions" — but DigestTable lets experiments
+// quantify exactly what digest storage would cost for a given digest width.
+type DigestTable struct {
+	bits  uint
+	seed  uint64
+	byDig map[uint32][]flow.Key
+	known map[flow.Key]bool
+}
+
+// NewDigestTable builds a resolver for digests of the given width (1..32
+// bits). Hardware typically uses 32; small widths exaggerate collisions for
+// study.
+func NewDigestTable(bits uint, seed uint64) *DigestTable {
+	if bits == 0 || bits > 32 {
+		bits = 32
+	}
+	return &DigestTable{
+		bits:  bits,
+		seed:  seed,
+		byDig: make(map[uint32][]flow.Key),
+		known: make(map[flow.Key]bool),
+	}
+}
+
+// Digest returns the flow's digest at the table's width.
+func (d *DigestTable) Digest(k flow.Key) uint32 {
+	return k.Hash32(d.seed) & uint32(1<<d.bits-1)
+}
+
+// Learn registers a flow the analysis program knows about, so its digest
+// can be resolved later. Learning is idempotent.
+func (d *DigestTable) Learn(k flow.Key) {
+	if d.known[k] {
+		return
+	}
+	d.known[k] = true
+	dig := d.Digest(k)
+	d.byDig[dig] = append(d.byDig[dig], k)
+}
+
+// Resolve returns the known flows sharing a digest (nil if never learned).
+func (d *DigestTable) Resolve(dig uint32) []flow.Key { return d.byDig[dig] }
+
+// Collisions returns the number of digests shared by more than one learned
+// flow.
+func (d *DigestTable) Collisions() int {
+	n := 0
+	for _, flows := range d.byDig {
+		if len(flows) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ApplyDigests simulates digest-width cell storage on an exact query
+// result: counts are first collapsed onto digests (colliding flows merge,
+// exactly as the register would conflate them), then resolved back to flow
+// IDs, splitting each digest's count evenly over its known candidates (the
+// analysis program has no better tiebreak). With 32-bit digests and
+// realistic flow counts the result is virtually identical to the input.
+func (d *DigestTable) ApplyDigests(c flow.Counts) flow.Counts {
+	byDig := make(map[uint32]float64, len(c))
+	for k, n := range c {
+		d.Learn(k)
+		byDig[d.Digest(k)] += n
+	}
+	out := make(flow.Counts, len(c))
+	for dig, n := range byDig {
+		candidates := d.Resolve(dig)
+		if len(candidates) == 0 {
+			continue
+		}
+		share := n / float64(len(candidates))
+		for _, k := range candidates {
+			out.Add(k, share)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package timewindow
+
+import (
+	"testing"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/metrics"
+)
+
+func TestDigestTableBasics(t *testing.T) {
+	d := NewDigestTable(32, 7)
+	a, b := fkey(1), fkey(2)
+	d.Learn(a)
+	d.Learn(a) // idempotent
+	d.Learn(b)
+	if got := d.Resolve(d.Digest(a)); len(got) != 1 || got[0] != a {
+		t.Fatalf("Resolve(a) = %v", got)
+	}
+	if d.Resolve(0xDEADBEEF) != nil && len(d.Resolve(0xDEADBEEF)) > 0 {
+		// 1-in-4-billion chance of a real digest landing here; treat a
+		// hit as suspicious only if it maps to neither flow.
+		for _, k := range d.Resolve(0xDEADBEEF) {
+			if k != a && k != b {
+				t.Fatal("resolved an unlearned flow")
+			}
+		}
+	}
+	if NewDigestTable(0, 1).bits != 32 || NewDigestTable(40, 1).bits != 32 {
+		t.Fatal("width clamping wrong")
+	}
+}
+
+// TestDigest32BitLossless: at the hardware width, thousands of flows
+// produce (almost surely) no collisions and the digest pipeline is an
+// identity on query results — supporting the paper's observation that its
+// errors do not come from hash collisions.
+func TestDigest32BitLossless(t *testing.T) {
+	d := NewDigestTable(32, 3)
+	counts := make(flow.Counts)
+	for i := uint32(0); i < 5000; i++ {
+		counts[fkey(i)] = float64(1 + i%17)
+	}
+	out := d.ApplyDigests(counts)
+	if d.Collisions() != 0 {
+		t.Skipf("improbable 32-bit collision among 5000 flows; seed-dependent")
+	}
+	p, r := metrics.PrecisionRecall(out, counts)
+	if p != 1 || r != 1 {
+		t.Fatalf("32-bit digests not lossless: %v/%v", p, r)
+	}
+}
+
+// TestDigestNarrowWidthCollides: with 10-bit digests and 5000 flows,
+// collisions are pervasive and accuracy visibly degrades.
+func TestDigestNarrowWidthCollides(t *testing.T) {
+	d := NewDigestTable(10, 3)
+	counts := make(flow.Counts)
+	for i := uint32(0); i < 5000; i++ {
+		counts[fkey(i)] = float64(1 + i%17)
+	}
+	out := d.ApplyDigests(counts)
+	if d.Collisions() == 0 {
+		t.Fatal("5000 flows in 1024 digests produced no collisions?")
+	}
+	p, _ := metrics.PrecisionRecall(out, counts)
+	if p > 0.95 {
+		t.Fatalf("narrow digests kept precision %v; expected visible loss", p)
+	}
+	// Totals are conserved: digesting redistributes, never invents.
+	if got, want := out.Total(), counts.Total(); got < want*0.999 || got > want*1.001 {
+		t.Fatalf("digesting changed the total: %v vs %v", got, want)
+	}
+}

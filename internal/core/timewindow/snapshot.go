@@ -1,0 +1,218 @@
+package timewindow
+
+import (
+	"printqueue/internal/flow"
+)
+
+// Snapshot is an immutable copy of a window set's registers, as captured by
+// a frozen control-plane read.
+type Snapshot struct {
+	cfg     Config
+	windows [][]Cell
+}
+
+// Config returns the snapshot's window configuration.
+func (s *Snapshot) Config() Config { return s.cfg }
+
+// latestCell scans window 0 for the most recent valid cell and returns its
+// window-0 TTS (cycleID<<k | index) — the paper's LatestCell(). ok is false
+// if the window holds no valid cell.
+func (s *Snapshot) latestCell() (tts uint64, ok bool) {
+	k := s.cfg.K
+	var best uint64
+	for j, c := range s.windows[0] {
+		if !c.Valid {
+			continue
+		}
+		t := c.CycleID<<k | uint64(j)
+		if !ok || t > best {
+			best = t
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// Filtered is a snapshot with Algorithm 3 applied: stale cells removed and
+// each window's retained anchor recorded. Queries run against it.
+type Filtered struct {
+	cfg     Config
+	windows [][]Cell
+	// anchorTTS[i] is the TTS (in window-i coordinates) of the newest cell
+	// period retained in window i; window i retains TTS range
+	// (anchorTTS[i] - 2^k, anchorTTS[i]].
+	anchorTTS []uint64
+	empty     bool
+}
+
+// Filter implements Algorithm 3. It walks the windows from the most recent
+// cell of window 0, retaining only cells in the latest cycle (or, for
+// indices beyond the latest cell, the immediately preceding cycle), and
+// derives each deeper window's anchor as the most recently passed cell:
+// TTS' = (TTS - 2^k) >> alpha.
+func (s *Snapshot) Filter() *Filtered {
+	f := &Filtered{
+		cfg:       s.cfg,
+		windows:   make([][]Cell, s.cfg.T),
+		anchorTTS: make([]uint64, s.cfg.T),
+	}
+	tts, ok := s.latestCell()
+	if !ok {
+		f.empty = true
+		for i := range f.windows {
+			f.windows[i] = make([]Cell, len(s.windows[i]))
+		}
+		return f
+	}
+	cells := uint64(s.cfg.Cells())
+	for i := 0; i < s.cfg.T; i++ {
+		cid, idx := s.cfg.Split(tts)
+		f.anchorTTS[i] = tts
+		w := make([]Cell, len(s.windows[i]))
+		for j, c := range s.windows[i] {
+			if !c.Valid {
+				continue
+			}
+			if j <= idx {
+				if c.CycleID == cid {
+					w[j] = c
+				}
+			} else if c.CycleID+1 == cid {
+				w[j] = c
+			}
+		}
+		f.windows[i] = w
+		if tts < cells {
+			// The history does not extend past t=0; deeper windows cannot
+			// hold anything newer, and the subtraction below would wrap.
+			for d := i + 1; d < s.cfg.T; d++ {
+				f.windows[d] = make([]Cell, len(s.windows[d]))
+			}
+			break
+		}
+		tts = (tts - cells) >> s.cfg.Alpha
+	}
+	return f
+}
+
+// Empty reports whether the filtered snapshot holds no packets at all.
+func (f *Filtered) Empty() bool { return f.empty }
+
+// cellSpan returns the absolute dequeue-time range [start, end) covered by
+// cell j of window i given its cycle ID.
+func (f *Filtered) cellSpan(i int, cycleID uint64, j int) (start, end uint64) {
+	tts := cycleID<<f.cfg.K | uint64(j)
+	shift := f.cfg.M0 + f.cfg.Alpha*uint(i)
+	start = tts << shift
+	return start, start + f.cfg.CellPeriod(i)
+}
+
+// WindowSpan returns the absolute dequeue-time range (start, end] retained
+// by window i after filtering: one full window period ending at the anchor.
+func (f *Filtered) WindowSpan(i int) (start, end uint64) {
+	if f.empty {
+		return 0, 0
+	}
+	shift := f.cfg.M0 + f.cfg.Alpha*uint(i)
+	end = (f.anchorTTS[i] + 1) << shift
+	wp := f.cfg.WindowPeriod(i)
+	if end < wp {
+		return 0, end
+	}
+	return end - wp, end
+}
+
+// RawWindowCounts returns, for each window, the observed (un-recovered)
+// per-flow packet counts among surviving cells whose periods overlap
+// [start, end). These are the direct register observations; Query applies
+// the Algorithm-2 coefficients on top.
+func (f *Filtered) RawWindowCounts(start, end uint64) []flow.Counts {
+	out := make([]flow.Counts, f.cfg.T)
+	for i := range out {
+		out[i] = make(flow.Counts)
+	}
+	if f.empty || end <= start {
+		return out
+	}
+	for i := 0; i < f.cfg.T; i++ {
+		for j, c := range f.windows[i] {
+			if !c.Valid {
+				continue
+			}
+			lo, hi := f.cellSpan(i, c.CycleID, j)
+			if lo < end && hi > start {
+				out[i].Add(c.Flow, 1)
+			}
+		}
+	}
+	return out
+}
+
+// Query estimates the per-flow packet counts dequeued during [start, end):
+// it gathers surviving cells per window and divides each window's counts by
+// coefficient[i] (Algorithm 2) to recover the pre-compression numbers, then
+// aggregates across windows. This answers both direct-culprit queries
+// (victim residence interval) and indirect-culprit queries (regime
+// interval); the two differ only in the interval supplied.
+func (f *Filtered) Query(start, end uint64) flow.Counts {
+	return f.query(start, end, f.cfg.Coefficients())
+}
+
+// QueryWithoutCoefficients is the ablation variant that sums raw window
+// observations without Algorithm-2 recovery. Deep-window compression then
+// shows up directly as under-estimation.
+func (f *Filtered) QueryWithoutCoefficients(start, end uint64) flow.Counts {
+	ones := make([]float64, f.cfg.T)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return f.query(start, end, ones)
+}
+
+func (f *Filtered) query(start, end uint64, coeff []float64) flow.Counts {
+	total := make(flow.Counts)
+	for i, counts := range f.RawWindowCounts(start, end) {
+		for fl, n := range counts {
+			total.Add(fl, n/coeff[i])
+		}
+	}
+	return total
+}
+
+// QueryWindow estimates per-flow counts using only window i — the paper's
+// Figure-12 per-window accuracy experiment queries a single window's full
+// retained period this way.
+func (f *Filtered) QueryWindow(i int, start, end uint64) flow.Counts {
+	out := make(flow.Counts)
+	if f.empty || end <= start || i < 0 || i >= f.cfg.T {
+		return out
+	}
+	coeff := f.cfg.Coefficients()[i]
+	for j, c := range f.windows[i] {
+		if !c.Valid {
+			continue
+		}
+		lo, hi := f.cellSpan(i, c.CycleID, j)
+		if lo < end && hi > start {
+			out.Add(c.Flow, 1/coeff)
+		}
+	}
+	return out
+}
+
+// SurvivingCells returns the number of valid cells per window after
+// filtering — a direct observable of the compression process used by tests
+// and the ablation benchmarks.
+func (f *Filtered) SurvivingCells() []int {
+	out := make([]int, f.cfg.T)
+	for i := range f.windows {
+		n := 0
+		for _, c := range f.windows[i] {
+			if c.Valid {
+				n++
+			}
+		}
+		out[i] = n
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package timewindow
+
+import "printqueue/internal/flow"
+
+// Cell is one register entry of a time window: the stored packet's flow ID
+// and the cycle ID distinguishing which pass of the ring buffer wrote it.
+// Valid distinguishes a never-written cell from cycle 0 (hardware encodes
+// this in the flow ID being all-zero; we keep an explicit bit for clarity).
+type Cell struct {
+	Flow    flow.Key
+	CycleID uint64
+	Valid   bool
+}
+
+// Windows is one register set of T time windows. The data plane inserts
+// every dequeued packet; the control plane snapshots the storage for query
+// execution.
+//
+// Storage is externally provided so that a register File partition (one
+// (dp, flip, port) view per window) can back it; New allocates private
+// storage when none is given.
+type Windows struct {
+	cfg     Config
+	windows [][]Cell // T slices of 2^k cells
+
+	inserted uint64   // packets inserted since construction
+	passes   []uint64 // passes[i]: packets passed from window i to i+1
+}
+
+// New builds a window set over the given storage. storage must contain
+// exactly cfg.T slices of cfg.Cells() entries, or be nil to allocate
+// privately. The storage is used as-is: pre-existing (stale) contents are
+// tolerated, exactly as re-used hardware register sets are, because the
+// passing rule and Algorithm 3 discriminate by cycle ID.
+func New(cfg Config, storage [][]Cell) (*Windows, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if storage == nil {
+		storage = make([][]Cell, cfg.T)
+		for i := range storage {
+			storage[i] = make([]Cell, cfg.Cells())
+		}
+	}
+	if len(storage) != cfg.T {
+		return nil, errStorage(cfg, len(storage))
+	}
+	for i := range storage {
+		if len(storage[i]) != cfg.Cells() {
+			return nil, errStorage(cfg, len(storage[i]))
+		}
+	}
+	return &Windows{cfg: cfg, windows: storage, passes: make([]uint64, cfg.T)}, nil
+}
+
+func errStorage(cfg Config, got int) error {
+	return &storageError{want: cfg.T, cells: cfg.Cells(), got: got}
+}
+
+type storageError struct{ want, cells, got int }
+
+func (e *storageError) Error() string {
+	return "timewindow: storage shape mismatch (want " +
+		itoa(e.want) + " windows of " + itoa(e.cells) + " cells, got " + itoa(e.got) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Config returns the window set's configuration.
+func (w *Windows) Config() Config { return w.cfg }
+
+// Inserted returns the number of packets inserted so far.
+func (w *Windows) Inserted() uint64 { return w.inserted }
+
+// Passes returns, per window, how many evicted packets were passed onward
+// to the next window — the empirical counterpart of the Theorem 1/2 pass
+// probabilities.
+func (w *Windows) Passes() []uint64 {
+	out := make([]uint64, len(w.passes))
+	copy(out, w.passes)
+	return out
+}
+
+// Insert records a dequeued packet, running Algorithm 1: map the packet to
+// its cell in window 0 by trimmed timestamp; on collision, store the newer
+// packet and pass the evicted one to the next window if and only if the new
+// packet's cycle ID exceeds the evicted one's by exactly one ("one shot" —
+// the window period immediately following the evicted packet's arrival).
+func (w *Windows) Insert(f flow.Key, deqTS uint64) {
+	w.inserted++
+	tts := w.cfg.TTS(deqTS)
+	kMask := uint64(w.cfg.Cells() - 1)
+	for i := 0; i < w.cfg.T; i++ {
+		idx := int(tts & kMask)
+		cycle := tts >> w.cfg.K
+		evicted := w.windows[i][idx]
+		w.windows[i][idx] = Cell{Flow: f, CycleID: cycle, Valid: true}
+		if !evicted.Valid || cycle != evicted.CycleID+1 {
+			// Either nothing to pass, a same-cycle collision (drop the
+			// evicted record), or a record too far in the past (deleted
+			// asynchronously, as on hardware).
+			return
+		}
+		// Pass the evicted packet to the next window as a new input.
+		if i+1 < w.cfg.T {
+			w.passes[i]++
+		}
+		f = evicted.Flow
+		// The evicted packet's own TTS in this window is (cycle-1)<<k | idx;
+		// shifting it right by alpha gives its position in the next window.
+		tts = (evicted.CycleID<<w.cfg.K | uint64(idx)) >> w.cfg.Alpha
+	}
+}
+
+// InsertAblationAlwaysPass is the ablation variant of Insert that passes
+// every evicted packet regardless of cycle distance. It demonstrates why the
+// paper's one-shot passing rule matters: without it, stale records flood the
+// deeper windows and the Theorem-2 proportionality that Algorithm 2 relies
+// on no longer holds.
+func (w *Windows) InsertAblationAlwaysPass(f flow.Key, deqTS uint64) {
+	w.inserted++
+	tts := w.cfg.TTS(deqTS)
+	kMask := uint64(w.cfg.Cells() - 1)
+	for i := 0; i < w.cfg.T; i++ {
+		idx := int(tts & kMask)
+		cycle := tts >> w.cfg.K
+		evicted := w.windows[i][idx]
+		w.windows[i][idx] = Cell{Flow: f, CycleID: cycle, Valid: true}
+		if !evicted.Valid || cycle == evicted.CycleID {
+			return
+		}
+		f = evicted.Flow
+		tts = (evicted.CycleID<<w.cfg.K | uint64(idx)) >> w.cfg.Alpha
+	}
+}
+
+// Snapshot copies the current register contents into an immutable Snapshot
+// for query execution. It models one frozen register read of the whole set
+// and returns the number of register entries copied (for I/O accounting).
+func (w *Windows) Snapshot() *Snapshot {
+	cells := make([][]Cell, w.cfg.T)
+	for i := range cells {
+		cells[i] = make([]Cell, len(w.windows[i]))
+		copy(cells[i], w.windows[i])
+	}
+	return &Snapshot{cfg: w.cfg, windows: cells}
+}
+
+// EntriesPerSnapshot returns the register entries read per snapshot of this
+// window set: T * 2^k.
+func (c Config) EntriesPerSnapshot() int { return c.T * c.Cells() }

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"printqueue/internal/baseline/conquest"
+	"printqueue/internal/core/control"
+	"printqueue/internal/flow"
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/metrics"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/switchsim"
+	"printqueue/internal/trace"
+)
+
+// ConQuestResult quantifies the paper's §1/§8 contrast with ConQuest.
+// Under FIFO, a victim's direct culprits are exactly the queue's contents
+// at its enqueue — which ConQuest can estimate, but only *at that instant*
+// in the data plane. Asked asynchronously (the operator investigates a
+// complaint later), its snapshots have been reclaimed by the rotation and
+// the answer is gone; PrintQueue's time windows still answer.
+type ConQuestResult struct {
+	// Online: ConQuest queried at the victim's enqueue instant.
+	OnlinePrecision, OnlineRecall float64
+	// Async: the same queries executed lagNs after the victim.
+	AsyncPrecision, AsyncRecall float64
+	// PQ: PrintQueue asynchronous queries for the same victims.
+	PQPrecision, PQRecall float64
+	Victims               int
+	LagNs                 uint64
+}
+
+// ConQuestComparison runs the UW workload with both systems attached at
+// comparable register budgets (ConQuest: 4 snapshots x 2 rows x 2048 cells
+// = 16384 entries; PrintQueue: 4 windows x 4096 cells).
+func ConQuestComparison(packets int, seed uint64, victims int, lagNs uint64) (*ConQuestResult, error) {
+	preset := Preset(trace.UW, packets, seed)
+	pkts, err := trace.Generate(preset.Gen)
+	if err != nil {
+		return nil, err
+	}
+	// ConQuest sizes its snapshot window to a fraction of the maximum
+	// queue drain time: ~30k cells at 10 Gbps drain in ~2 ms; R-1 = 3
+	// readable snapshots of 650 us cover it.
+	cq, err := conquest.New(conquest.Config{
+		Snapshots:        4,
+		CellsPerSnapshot: 2048,
+		Rows:             2,
+		WindowNs:         650e3,
+		Seed:             17,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if lagNs == 0 {
+		lagNs = 20e6 // a leisurely 20 ms after the fact
+	}
+
+	// Build the run manually so the enqueue hook can be attached.
+	sw, err := switchsim.NewSwitch(1, switchsim.PortConfig{
+		LinkBps: preset.LinkBps, BufferCells: 40000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := control.New(control.Config{
+		TW:    preset.TW,
+		QM:    preset.QM,
+		Ports: []int{0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	gt := groundtruth.NewCollector()
+	sw.Port(0).AddEgressHook(gt)
+	sw.Port(0).AddEgressHook(switchsim.EgressFunc(sys.OnDequeue))
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	sys.Finalize(sw.Port(0).Now() + 1)
+
+	res := &ConQuestResult{LagNs: lagNs}
+	vs := gt.SampleVictims(groundtruth.DepthBucket(1000, 0), victims)
+	res.Victims = len(vs)
+
+	// Victim truths, keyed so the second pass can recognize the victims'
+	// enqueues as they happen.
+	type vkey struct {
+		ts uint64
+		f  flow.Key
+	}
+	truths := make(map[vkey]flow.Counts, len(vs))
+	order := make([]vkey, 0, len(vs))
+	for _, vi := range vs {
+		v := gt.Record(vi)
+		k := vkey{ts: v.EnqTimestamp, f: v.Flow}
+		if _, dup := truths[k]; dup {
+			continue
+		}
+		truths[k] = gt.DirectTruth(vi)
+		order = append(order, k)
+	}
+
+	// Second pass: replay the same (deterministic) schedule with ConQuest
+	// attached, executing each victim's online query at its enqueue
+	// instant and the async variant lagNs later.
+	sw2, err := switchsim.NewSwitch(1, switchsim.PortConfig{
+		LinkBps: preset.LinkBps, BufferCells: 40000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	onlineEst := make(map[vkey]flow.Counts, len(truths))
+	asyncEst := make(map[vkey]flow.Counts, len(truths))
+	type pending struct {
+		due uint64
+		k   vkey
+	}
+	var queue []pending
+	runAsync := func(now uint64) {
+		for len(queue) > 0 && queue[0].due <= now {
+			pq := queue[0]
+			queue = queue[1:]
+			est := make(flow.Counts)
+			// Grant ConQuest the flow list (generous: a real deployment
+			// would have to learn it out of band).
+			for f := range truths[pq.k] {
+				est[f] = cq.QueryAsync(f, pq.k.ts, now)
+			}
+			clearZeroes(est)
+			asyncEst[pq.k] = est
+		}
+	}
+	sw2.Port(0).AddEnqueueHook(switchsim.EnqueueFunc(func(p *pktrec.Packet) {
+		now := p.Meta.EnqTimestamp
+		runAsync(now)
+		k := vkey{ts: now, f: p.Flow}
+		if truth, ok := truths[k]; ok {
+			if _, done := onlineEst[k]; !done {
+				est := make(flow.Counts)
+				for f := range truth {
+					est[f] = cq.QueryAt(f, now)
+				}
+				clearZeroes(est)
+				onlineEst[k] = est
+				queue = append(queue, pending{due: now + lagNs, k: k})
+			}
+		}
+		cq.OnEnqueue(p.Flow, now)
+	}))
+	for _, p := range clonePackets(pkts) {
+		sw2.Inject(p)
+	}
+	sw2.Flush()
+	runAsync(sw2.Port(0).Now() + lagNs)
+
+	var onP, onR, asP, asR, pqP, pqR metrics.Sample
+	for _, k := range order {
+		truth := truths[k]
+		p1, r1 := metrics.PrecisionRecall(onlineEst[k], truth)
+		onP.Add(p1)
+		onR.Add(r1)
+		p2, r2 := metrics.PrecisionRecall(asyncEst[k], truth)
+		asP.Add(p2)
+		asR.Add(r2)
+		v := k.ts
+		est, err := sys.QueryInterval(0, v, v+deqDeltaFor(gt, k.ts, k.f))
+		if err != nil {
+			return nil, err
+		}
+		p3, r3 := metrics.PrecisionRecall(est, truth)
+		pqP.Add(p3)
+		pqR.Add(r3)
+	}
+	res.OnlinePrecision, res.OnlineRecall = onP.Mean(), onR.Mean()
+	res.AsyncPrecision, res.AsyncRecall = asP.Mean(), asR.Mean()
+	res.PQPrecision, res.PQRecall = pqP.Mean(), pqR.Mean()
+	return res, nil
+}
+
+// deqDeltaFor finds the victim's queuing delay from the ground truth.
+func deqDeltaFor(gt *groundtruth.Collector, enqTS uint64, f flow.Key) uint64 {
+	for i := 0; i < gt.Len(); i++ {
+		r := gt.Record(i)
+		if r.EnqTimestamp == enqTS && r.Flow == f {
+			return r.DeqTimedelta
+		}
+	}
+	return 1
+}
+
+func clearZeroes(c flow.Counts) {
+	for f, n := range c {
+		if n == 0 {
+			delete(c, f)
+		}
+	}
+}

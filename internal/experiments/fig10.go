@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/trace"
+)
+
+// Fig10Band is one queue-depth band of Figure 10: the per-victim precision
+// and recall values (sorted ascending, i.e. the CDF x-samples) for
+// PrintQueue, HashPipe, and FlowRadar under the UW trace.
+type Fig10Band struct {
+	Band          string
+	PQPrec, PQRec []float64
+	HPPrec, HPRec []float64
+	FRPrec, FRRec []float64
+}
+
+// Fig10Bands are the figure's three occupancy bands, in cells.
+var Fig10Bands = []struct {
+	Label  string
+	Lo, Hi int
+}{
+	{"1k-5k", 1000, 5000},
+	{"5k-15k", 5000, 15000},
+	{">15k", 15000, 0},
+}
+
+// Fig10 reproduces "PrintQueue versus HashPipe and FlowRadar with different
+// queue-depth-based query intervals under UW traces": per-victim accuracy
+// CDFs in three occupancy bands, at the paper's resource parity
+// (PrintQueue 4096x4, baselines 4096x5).
+func Fig10(packets int, seed uint64, victimsPerBand int) ([]Fig10Band, error) {
+	preset := Preset(trace.UW, packets, seed)
+	pkts, err := trace.Generate(preset.Gen)
+	if err != nil {
+		return nil, err
+	}
+	run, err := Execute(pkts, preset.RunConfigFor(true))
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig10Band
+	for _, b := range Fig10Bands {
+		victims := run.GT.SampleVictims(groundtruth.DepthBucket(b.Lo, b.Hi), victimsPerBand)
+		pqP, pqR, err := evalVictimsPQ(run, victims)
+		if err != nil {
+			return nil, err
+		}
+		hpP, hpR := evalVictimsFn(run, victims, run.HP.Query)
+		frP, frR := evalVictimsFn(run, victims, run.FR.Query)
+		out = append(out, Fig10Band{
+			Band:   b.Label,
+			PQPrec: sortedSamples(&pqP), PQRec: sortedSamples(&pqR),
+			HPPrec: sortedSamples(&hpP), HPRec: sortedSamples(&hpR),
+			FRPrec: sortedSamples(&frP), FRRec: sortedSamples(&frR),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/trace"
+)
+
+// Fig11Variant is one parameter set of Figure 11 (all under UW traces).
+type Fig11Variant struct {
+	Alpha uint
+	K     uint
+	T     int
+}
+
+func (v Fig11Variant) String() string { return fmt.Sprintf("a=%d k=%d T=%d", v.Alpha, v.K, v.T) }
+
+// Fig11Variants are the paper's three subgraphs.
+var Fig11Variants = []Fig11Variant{
+	{Alpha: 2, K: 12, T: 4},
+	{Alpha: 2, K: 12, T: 5},
+	{Alpha: 3, K: 12, T: 4},
+}
+
+// Fig11Row is one bucket's median accuracy for PrintQueue and the
+// baselines.
+type Fig11Row struct {
+	Bucket                string
+	Victims               int
+	PQPrecision, PQRecall float64
+	HPPrecision, HPRecall float64
+	FRPrecision, FRRecall float64
+}
+
+// Fig11Result is one subgraph.
+type Fig11Result struct {
+	Variant Fig11Variant
+	Rows    []Fig11Row
+}
+
+// Fig11 reproduces "PrintQueue versus related works with different
+// parameters under UW traces": median per-victim accuracy by queue-depth
+// bucket for one (alpha, k, T) variant.
+func Fig11(v Fig11Variant, packets int, seed uint64, victimsPerBucket int) (*Fig11Result, error) {
+	preset := Preset(trace.UW, packets, seed)
+	preset.TW.Alpha = v.Alpha
+	preset.TW.K = v.K
+	preset.TW.T = v.T
+	pkts, err := trace.Generate(preset.Gen)
+	if err != nil {
+		return nil, err
+	}
+	run, err := Execute(pkts, preset.RunConfigFor(true))
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{Variant: v}
+	for _, b := range DepthBuckets {
+		victims := run.GT.SampleVictims(groundtruth.DepthBucket(b.Lo, b.Hi), victimsPerBucket)
+		pqP, pqR, err := evalVictimsPQ(run, victims)
+		if err != nil {
+			return nil, err
+		}
+		hpP, hpR := evalVictimsFn(run, victims, run.HP.Query)
+		frP, frR := evalVictimsFn(run, victims, run.FR.Query)
+		res.Rows = append(res.Rows, Fig11Row{
+			Bucket:      b.Label,
+			Victims:     pqP.N(),
+			PQPrecision: pqP.Median(), PQRecall: pqR.Median(),
+			HPPrecision: hpP.Median(), HPRecall: hpR.Median(),
+			FRPrecision: frP.Median(), FRRecall: frR.Median(),
+		})
+	}
+	return res, nil
+}

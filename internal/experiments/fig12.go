@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"printqueue/internal/metrics"
+	"printqueue/internal/trace"
+)
+
+// Fig12Ks are the Top-K series of Figure 12; 0 means "All".
+var Fig12Ks = []int{50, 100, 200, 500, 0}
+
+// Fig12Row is one (window, K) point: mean precision/recall of the window's
+// Top-K flow packet counts across checkpoints.
+type Fig12Row struct {
+	Window    int
+	K         int // 0 = all flows
+	Precision float64
+	Recall    float64
+}
+
+// Fig12 reproduces "Top-K flows from a single time window under UW traces":
+// alpha=1, k=12, T=5, with the query interval set to each window's full
+// retained period. Every periodic checkpoint contributes one sample per
+// (window, K) pair.
+func Fig12(packets int, seed uint64) ([]Fig12Row, error) {
+	preset := Preset(trace.UW, packets, seed)
+	preset.TW.Alpha = 1
+	preset.TW.K = 12
+	preset.TW.T = 5
+	pkts, err := trace.Generate(preset.Gen)
+	if err != nil {
+		return nil, err
+	}
+	run, err := Execute(pkts, preset.RunConfigFor(false))
+	if err != nil {
+		return nil, err
+	}
+	type cell struct{ p, r metrics.Sample }
+	grid := make([][]cell, preset.TW.T)
+	for i := range grid {
+		grid[i] = make([]cell, len(Fig12Ks))
+	}
+	gtStart, gtEnd, err := run.GT.TimeSpan()
+	if err != nil {
+		return nil, err
+	}
+	for _, cp := range run.Sys.Checkpoints(run.Port) {
+		f := cp.Filtered()
+		if f.Empty() {
+			continue
+		}
+		for w := 0; w < preset.TW.T; w++ {
+			lo, hi := f.WindowSpan(w)
+			if lo < gtStart {
+				lo = gtStart
+			}
+			if hi > gtEnd {
+				hi = gtEnd
+			}
+			if hi <= lo {
+				continue
+			}
+			est := f.QueryWindow(w, lo, hi)
+			truth := run.GT.CountsInInterval(lo, hi)
+			if truth.Total() == 0 {
+				continue
+			}
+			for ki, k := range Fig12Ks {
+				p, r := metrics.TopKPrecisionRecall(est, truth, k)
+				grid[w][ki].p.Add(p)
+				grid[w][ki].r.Add(r)
+			}
+		}
+	}
+	var out []Fig12Row
+	for w := range grid {
+		for ki, k := range Fig12Ks {
+			out = append(out, Fig12Row{
+				Window:    w,
+				K:         k,
+				Precision: grid[w][ki].p.Mean(),
+				Recall:    grid[w][ki].r.Mean(),
+			})
+		}
+	}
+	return out, nil
+}

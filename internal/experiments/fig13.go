@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/overhead"
+	"printqueue/internal/trace"
+)
+
+// Fig13Config is one alpha_k_T point of Figure 13.
+type Fig13Config struct {
+	Alpha uint
+	K     uint
+	T     int
+}
+
+func (c Fig13Config) Label() string { return fmt.Sprintf("%d_%d_%d", c.Alpha, c.K, c.T) }
+
+// Fig13Configs are the configurations the paper plots.
+var Fig13Configs = []Fig13Config{
+	{1, 12, 4},
+	{2, 12, 4},
+	{3, 12, 4},
+	{1, 12, 5},
+	{2, 12, 5},
+	{2, 11, 4},
+}
+
+// Fig13Row is one point: the control-plane storage overhead of periodic
+// polling versus the measured accuracy, plus feasibility under the modelled
+// data-exchange limit.
+type Fig13Row struct {
+	Config    Fig13Config
+	MBps      float64
+	Precision float64
+	Recall    float64
+	Feasible  bool
+}
+
+// Fig13 reproduces "Storage versus accuracy with alpha, k, T under UW
+// traces": for each configuration, the polling bandwidth (snapshot bytes
+// per set period) and the mean asynchronous-query accuracy over sampled
+// victims.
+func Fig13(packets int, seed uint64, victims int) ([]Fig13Row, error) {
+	var rows []Fig13Row
+	for _, c := range Fig13Configs {
+		preset := Preset(trace.UW, packets, seed)
+		preset.TW.Alpha = c.Alpha
+		preset.TW.K = c.K
+		preset.TW.T = c.T
+		pkts, err := trace.Generate(preset.Gen)
+		if err != nil {
+			return nil, err
+		}
+		run, err := Execute(pkts, preset.RunConfigFor(false))
+		if err != nil {
+			return nil, err
+		}
+		vs := run.GT.SampleVictims(groundtruth.DepthBucket(1000, 0), victims)
+		p, r, err := evalVictimsPQ(run, vs)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig13Row{
+			Config:    c,
+			MBps:      overhead.ControlPlaneMBps(preset.TW, preset.QM, 1),
+			Precision: p.Mean(),
+			Recall:    r.Mean(),
+			Feasible:  overhead.Feasible(preset.TW, preset.QM, 1),
+		})
+	}
+	return rows, nil
+}

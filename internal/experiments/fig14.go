@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"printqueue/internal/baseline/linearstore"
+	"printqueue/internal/core/timewindow"
+	"printqueue/internal/overhead"
+)
+
+// Fig14aRow is one point of Figure 14(a): the ratio of linear-storage bytes
+// (NetSight/BurstRadar class: one record per packet) to PrintQueue's
+// exponential-storage bytes, for a monitored duration.
+type Fig14aRow struct {
+	Alpha      uint
+	DurationNs uint64
+	Ratio      float64
+}
+
+// Fig14a sweeps durations for alpha in {1, 2, 3} with m0=6, k=12 and a
+// UW-like packet rate (12.5 Mpps at 10 Gbps line rate, 100 B packets).
+// The paper's x-axis runs 2^18..2^22 ns; we extend to 2^34 (~17 s) to show
+// the three-orders-of-magnitude separation the paper reports.
+func Fig14a() []Fig14aRow {
+	const pps = 12.5e6
+	var rows []Fig14aRow
+	for _, alpha := range []uint{1, 2, 3} {
+		cfg := timewindow.Config{M0: 6, K: 12, Alpha: alpha, T: 8, MinPktTxDelayNs: 80}
+		for e := 18; e <= 34; e += 2 {
+			d := uint64(1) << e
+			rows = append(rows, Fig14aRow{
+				Alpha:      alpha,
+				DurationNs: d,
+				Ratio:      linearstore.Ratio(cfg, d, pps, overhead.TWCellBytes),
+			})
+		}
+	}
+	return rows
+}
+
+// Fig14bRow is one bar of Figure 14(b): data-plane SRAM utilisation of the
+// time windows for a (k, T) configuration on a single port.
+type Fig14bRow struct {
+	K           uint
+	T           int
+	SRAMBytes   int
+	Utilization float64 // percent of the modelled SRAM budget
+}
+
+// Fig14bConfigs are the paper's k_T bars: 9_5 .. 12_5 and 12_4 .. 12_2.
+var Fig14bConfigs = []struct {
+	K uint
+	T int
+}{
+	{9, 5}, {10, 5}, {11, 5}, {12, 5}, {12, 4}, {12, 3}, {12, 2},
+}
+
+// Fig14b computes the SRAM usage rows. Alpha does not affect resource
+// consumption (§7.1), so it is fixed at 1.
+func Fig14b() []Fig14bRow {
+	var rows []Fig14bRow
+	for _, c := range Fig14bConfigs {
+		cfg := timewindow.Config{M0: 6, K: c.K, Alpha: 1, T: c.T, MinPktTxDelayNs: 80}
+		bytes := overhead.TimeWindowSRAMBytes(cfg, 1)
+		rows = append(rows, Fig14bRow{
+			K:           c.K,
+			T:           c.T,
+			SRAMBytes:   bytes,
+			Utilization: overhead.SRAMUtilization(bytes),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/overhead"
+	"printqueue/internal/trace"
+)
+
+// Fig15Point is one x-position of Figure 15: a port count with the
+// (alpha, k) the paper shrinks to in order to fit the SRAM budget, the
+// resulting total SRAM utilisation, and the measured per-port accuracy
+// under WS traces.
+type Fig15Point struct {
+	Ports       int
+	Alpha       uint
+	K           uint
+	SRAMPercent float64
+	Precision   float64
+	Recall      float64
+}
+
+// Fig15Sweep are the paper's x-axis points: as more ports activate
+// PrintQueue, k shrinks and alpha grows to stay within SRAM.
+var Fig15Sweep = []struct {
+	Ports int
+	Alpha uint
+	K     uint
+}{
+	{1, 1, 12},
+	{2, 1, 11},
+	{4, 2, 10},
+	{8, 2, 10},
+	{10, 2, 10},
+}
+
+// Fig15 reproduces "Accuracy versus port number under WS traces". Queuing
+// is independent per egress port, so per-port accuracy is measured on one
+// simulated port with the point's (alpha, k) while SRAM is accounted for
+// the full register partitioning across r(#ports) partitions.
+func Fig15(packets int, seed uint64, victims int) ([]Fig15Point, error) {
+	var out []Fig15Point
+	for _, pt := range Fig15Sweep {
+		preset := Preset(trace.WS, packets, seed)
+		preset.TW.Alpha = pt.Alpha
+		preset.TW.K = pt.K
+		pkts, err := trace.Generate(preset.Gen)
+		if err != nil {
+			return nil, err
+		}
+		run, err := Execute(pkts, preset.RunConfigFor(false))
+		if err != nil {
+			return nil, err
+		}
+		vs := run.GT.SampleVictims(groundtruth.DepthBucket(1000, 0), victims)
+		p, r, err := evalVictimsPQ(run, vs)
+		if err != nil {
+			return nil, err
+		}
+		bytes := overhead.TimeWindowSRAMBytes(preset.TW, pt.Ports) +
+			overhead.QueueMonitorSRAMBytes(preset.QM, pt.Ports, 1)
+		out = append(out, Fig15Point{
+			Ports:       pt.Ports,
+			Alpha:       pt.Alpha,
+			K:           pt.K,
+			SRAMPercent: overhead.SRAMUtilization(bytes),
+			Precision:   p.Mean(),
+			Recall:      r.Mean(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"printqueue/internal/core/control"
+	"printqueue/internal/core/qmonitor"
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/switchsim"
+	"printqueue/internal/tcpsim"
+	"printqueue/internal/trace"
+)
+
+// Fig16TCP is the case study with closed-loop senders: the background and
+// the late flow are TCP Reno-style sources (application-limited, as the
+// paper's "limited to ~90% of the link capacity" background) whose windows
+// react to the burst's drops — the mechanism the paper's testbed actually
+// exhibited, versus Fig16's open-loop pacing. The diagnosis itself is
+// identical; only the traffic substrate changes.
+func Fig16TCP(scale float64) (*Fig16Result, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	cfg := trace.DefaultCaseStudy(scale)
+
+	sw, err := switchsim.NewSwitch(1, switchsim.PortConfig{
+		LinkBps:     cfg.LinkBps,
+		BufferCells: 120000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	driver := tcpsim.NewDriver(sw, 0)
+
+	preset := Preset(trace.WS, 0, cfg.Seed) // MTU-class time windows
+	sys, err := control.New(control.Config{
+		TW:    preset.TW,
+		QM:    qmonitor.Config{MaxDepthCells: 131072, GranuleCells: 4},
+		Ports: []int{0},
+		// Data-plane freezes mid-regime, as in Fig16.
+		DPTrigger:             control.DepthTrigger(400),
+		ReadRateEntriesPerSec: 50e6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gt := groundtruth.NewCollector()
+	sw.Port(0).AddEgressHook(gt)
+	sw.Port(0).AddEgressHook(switchsim.EgressFunc(sys.OnDequeue))
+
+	pkts, fs, err := trace.CaseStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Keep only the burst's open-loop datagrams from the schedule; the TCP
+	// principals become closed-loop senders.
+	var burst []*pktrec.Packet
+	for _, p := range pkts {
+		if p.Flow == fs.Burst {
+			burst = append(burst, p)
+		}
+	}
+	driver.AddSchedule(burst)
+	const rtt = 200e3 // 200 us propagation RTT
+	if err := driver.AddSender(tcpsim.SenderConfig{
+		Flow:       fs.Background,
+		RTTNs:      rtt,
+		MaxRateBps: cfg.BackgroundBps,
+		// Let slow start reach the application's pacing rate (BDP at
+		// 9.9 Gbps x 200 us is ~165 packets; the queue adds several
+		// hundred more).
+		SSThresh: 2048,
+	}); err != nil {
+		return nil, err
+	}
+	if err := driver.AddSender(tcpsim.SenderConfig{
+		Flow:       fs.NewTCP,
+		RTTNs:      rtt,
+		StartNs:    cfg.NewTCPStartNs,
+		MaxRateBps: cfg.NewTCPBps,
+		SSThresh:   2048,
+	}); err != nil {
+		return nil, err
+	}
+
+	driver.Run(cfg.DurationNs)
+	sw.Flush()
+	sys.Finalize(sw.Port(0).Now() + 1)
+	return fig16Analyze(gt, sys, 0, fs)
+}

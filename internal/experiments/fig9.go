@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"sort"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/metrics"
+	"printqueue/internal/trace"
+)
+
+// Fig9Row is one queue-depth bucket of Figure 9: precision and recall of
+// asynchronous (AQ) and data-plane (DQ) queries for victims in the bucket.
+type Fig9Row struct {
+	Bucket                string
+	AQPrecision, AQRecall float64
+	DQPrecision, DQRecall float64
+	AQVictims, DQVictims  int
+}
+
+// Fig9Result is the figure for one workload.
+type Fig9Result struct {
+	Workload trace.Workload
+	Rows     []Fig9Row
+}
+
+// Fig9 reproduces "Precision and recall versus queue depth" for one
+// workload: it replays the trace once with a data-plane trigger at 1000
+// cells, evaluates the triggered DQ results, and separately samples victims
+// per depth bucket for asynchronous queries of their direct culprits.
+func Fig9(w trace.Workload, packets int, seed uint64, victimsPerBucket int) (*Fig9Result, error) {
+	preset := Preset(w, packets, seed)
+	pkts, err := trace.Generate(preset.Gen)
+	if err != nil {
+		return nil, err
+	}
+	cfg := preset.RunConfigFor(false)
+	cfg.DPTriggerDepth = 1000
+	// A finite control-plane read rate spaces data-plane queries out, as
+	// the paper's PCIe-limited front end does.
+	cfg.ReadRateEntriesPerSec = 100e6
+	run, err := Execute(pkts, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig9Result{Workload: w}
+	dqs := run.Sys.DPQueries(run.Port)
+	for _, b := range DepthBuckets {
+		row := Fig9Row{Bucket: b.Label}
+
+		// Asynchronous queries: sampled victims, direct-culprit interval.
+		victims := run.GT.SampleVictims(groundtruth.DepthBucket(b.Lo, b.Hi), victimsPerBucket)
+		var ap, ar metrics.Sample
+		for _, vi := range victims {
+			v := run.GT.Record(vi)
+			est, err := run.Sys.QueryInterval(run.Port, v.EnqTimestamp, v.DeqTimestamp())
+			if err != nil {
+				return nil, err
+			}
+			p, r := metrics.PrecisionRecall(est, run.GT.DirectTruth(vi))
+			ap.Add(p)
+			ar.Add(r)
+		}
+		row.AQPrecision, row.AQRecall, row.AQVictims = ap.Mean(), ar.Mean(), ap.N()
+
+		// Data-plane queries: triggered during the run; classify by the
+		// triggering packet's enqueue-time depth.
+		var dp, dr metrics.Sample
+		for _, dq := range dqs {
+			if dq.EnqQdepth < b.Lo || (b.Hi != 0 && dq.EnqQdepth >= b.Hi) {
+				continue
+			}
+			if dp.N() >= victimsPerBucket && victimsPerBucket > 0 {
+				break
+			}
+			vi, ok := run.GT.FindByDeq(dq.DeqTS, dq.Victim)
+			if !ok {
+				continue
+			}
+			p, r := metrics.PrecisionRecall(dq.Result, run.GT.DirectTruth(vi))
+			dp.Add(p)
+			dr.Add(r)
+		}
+		row.DQPrecision, row.DQRecall, row.DQVictims = dp.Mean(), dr.Mean(), dp.N()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// evalVictimsPQ runs asynchronous direct-culprit queries for the given
+// victims and returns per-victim precision/recall samples.
+func evalVictimsPQ(run *Run, victims []int) (p, r metrics.Sample, err error) {
+	for _, vi := range victims {
+		v := run.GT.Record(vi)
+		est, qerr := run.Sys.QueryInterval(run.Port, v.EnqTimestamp, v.DeqTimestamp())
+		if qerr != nil {
+			return p, r, qerr
+		}
+		pp, rr := metrics.PrecisionRecall(est, run.GT.DirectTruth(vi))
+		p.Add(pp)
+		r.Add(rr)
+	}
+	return p, r, nil
+}
+
+// evalVictimsFn evaluates an arbitrary interval estimator (HashPipe,
+// FlowRadar, ablations) against the same victims.
+func evalVictimsFn(run *Run, victims []int, query func(start, end uint64) flow.Counts) (p, r metrics.Sample) {
+	for _, vi := range victims {
+		v := run.GT.Record(vi)
+		est := query(v.EnqTimestamp, v.DeqTimestamp())
+		pp, rr := metrics.PrecisionRecall(est, run.GT.DirectTruth(vi))
+		p.Add(pp)
+		r.Add(rr)
+	}
+	return p, r
+}
+
+// sortedSamples returns the sample's values ascending (CDF x-values).
+func sortedSamples(s *metrics.Sample) []float64 {
+	vals := append([]float64(nil), s.Values()...)
+	sort.Float64s(vals)
+	return vals
+}

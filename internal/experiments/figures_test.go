@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"testing"
+
+	"printqueue/internal/trace"
+)
+
+// The drivers run here at reduced scale; the benchmarks and
+// cmd/experiments run them at full scale. These tests assert the paper's
+// qualitative shapes, not absolute numbers.
+
+func TestFig9Shape(t *testing.T) {
+	res, err := Fig9(trace.UW, 150000, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(DepthBuckets) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var sawAQ, sawDQ bool
+	for _, r := range res.Rows {
+		if r.AQVictims > 0 {
+			sawAQ = true
+			if r.AQPrecision < 0.5 || r.AQRecall < 0.3 {
+				t.Errorf("bucket %s AQ accuracy %.3f/%.3f implausibly low", r.Bucket, r.AQPrecision, r.AQRecall)
+			}
+		}
+		if r.DQVictims > 0 {
+			sawDQ = true
+			// The paper: data-plane queries are consistently high accuracy.
+			if r.DQPrecision < 0.7 {
+				t.Errorf("bucket %s DQ precision %.3f too low", r.Bucket, r.DQPrecision)
+			}
+		}
+	}
+	if !sawAQ || !sawDQ {
+		t.Fatalf("missing samples: AQ=%v DQ=%v", sawAQ, sawDQ)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2(120000, 1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's headline: PrintQueue beats both baselines on
+		// precision under every trace.
+		if r.PQPrecision <= r.HPPrecision || r.PQPrecision <= r.FRPrecision {
+			t.Errorf("%s: PQ precision %.3f not above HP %.3f / FR %.3f",
+				r.Trace, r.PQPrecision, r.HPPrecision, r.FRPrecision)
+		}
+		if r.Victims == 0 {
+			t.Errorf("%s: no victims sampled", r.Trace)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	bands, err := Fig10(120000, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bands) != len(Fig10Bands) {
+		t.Fatalf("bands = %d", len(bands))
+	}
+	for _, b := range bands {
+		if len(b.PQPrec) == 0 {
+			t.Errorf("band %s has no PQ samples", b.Band)
+			continue
+		}
+		// Values are sorted (CDF-ready) and within [0,1].
+		for i := 1; i < len(b.PQPrec); i++ {
+			if b.PQPrec[i] < b.PQPrec[i-1] {
+				t.Fatalf("band %s PQ precision not sorted", b.Band)
+			}
+		}
+		for _, v := range b.PQRec {
+			if v < 0 || v > 1 {
+				t.Fatalf("band %s recall %v out of range", b.Band, v)
+			}
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11(Fig11Variant{Alpha: 3, K: 12, T: 4}, 120000, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variant.Alpha != 3 || len(res.Rows) != len(DepthBuckets) {
+		t.Fatalf("result shape wrong: %+v", res.Variant)
+	}
+	// At large query intervals PrintQueue outperforms the baselines
+	// (paper: "across all evaluated parameter sets"). Use the deepest
+	// bucket that actually collected victims at this reduced scale.
+	var last *Fig11Row
+	for i := range res.Rows {
+		if res.Rows[i].Victims >= 5 {
+			last = &res.Rows[i]
+		}
+	}
+	if last == nil {
+		t.Fatal("no bucket collected victims")
+	}
+	if last.PQPrecision <= last.HPPrecision {
+		t.Errorf("bucket %s: PQ %.3f not above HP %.3f", last.Bucket, last.PQPrecision, last.HPPrecision)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows, err := Fig12(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5*len(Fig12Ks) {
+		t.Fatalf("rows = %d, want %d", len(rows), 5*len(Fig12Ks))
+	}
+	// Window 0 is uncompressed: its all-flows precision must beat the
+	// deepest window's.
+	byWindowK := map[[2]int]Fig12Row{}
+	for _, r := range rows {
+		byWindowK[[2]int{r.Window, r.K}] = r
+	}
+	w0 := byWindowK[[2]int{0, 0}]
+	w4 := byWindowK[[2]int{4, 0}]
+	if w0.Precision <= w4.Precision {
+		t.Errorf("window 0 precision %.3f not above window 4's %.3f", w0.Precision, w4.Precision)
+	}
+	if w0.Precision < 0.9 {
+		t.Errorf("window 0 (uncompressed) precision %.3f, want near 1", w0.Precision)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	rows, err := Fig13(100000, 1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig13Configs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byLabel := map[string]Fig13Row{}
+	for _, r := range rows {
+		byLabel[r.Config.Label()] = r
+		if r.MBps <= 0 {
+			t.Errorf("%s: zero overhead", r.Config.Label())
+		}
+	}
+	// Larger alpha compresses more aggressively: lower polling bandwidth
+	// (paper: "with larger alpha ... reducing the I/O requirements").
+	if byLabel["3_12_4"].MBps >= byLabel["1_12_4"].MBps {
+		t.Errorf("alpha=3 overhead %.2f not below alpha=1's %.2f",
+			byLabel["3_12_4"].MBps, byLabel["1_12_4"].MBps)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	a := Fig14a()
+	if len(a) == 0 {
+		t.Fatal("no fig14a rows")
+	}
+	// Ratio grows with duration for fixed alpha.
+	var prev float64
+	for _, r := range a {
+		if r.Alpha == 1 {
+			if r.Ratio < prev {
+				t.Fatalf("ratio not monotone for alpha=1 at 2^%d", log2(r.DurationNs))
+			}
+			prev = r.Ratio
+		}
+	}
+	// The longest durations show the paper's three-orders-of-magnitude
+	// separation (for the most aggressive compression).
+	var maxRatio float64
+	for _, r := range a {
+		if r.Ratio > maxRatio {
+			maxRatio = r.Ratio
+		}
+	}
+	if maxRatio < 1000 {
+		t.Errorf("max ratio %.1f, want >= 1000", maxRatio)
+	}
+
+	b := Fig14b()
+	if len(b) != len(Fig14bConfigs) {
+		t.Fatalf("fig14b rows = %d", len(b))
+	}
+	// SRAM grows with k and with T.
+	byKT := map[[2]int]Fig14bRow{}
+	for _, r := range b {
+		byKT[[2]int{int(r.K), r.T}] = r
+	}
+	if byKT[[2]int{12, 5}].SRAMBytes <= byKT[[2]int{9, 5}].SRAMBytes {
+		t.Error("SRAM not increasing in k")
+	}
+	if byKT[[2]int{12, 5}].SRAMBytes <= byKT[[2]int{12, 2}].SRAMBytes {
+		t.Error("SRAM not increasing in T")
+	}
+}
+
+func log2(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+func TestFig15Shape(t *testing.T) {
+	rows, err := Fig15(60000, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig15Sweep) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SRAMPercent < rows[i-1].SRAMPercent {
+			// SRAM may stay flat when the port count doubles into the
+			// same partition budget with a smaller k, but it must never
+			// shrink as ports increase at the same (alpha, k).
+			if rows[i].K == rows[i-1].K && rows[i].Alpha == rows[i-1].Alpha {
+				t.Errorf("ports %d SRAM %.2f%% below ports %d's %.2f%%",
+					rows[i].Ports, rows[i].SRAMPercent, rows[i-1].Ports, rows[i-1].SRAMPercent)
+			}
+		}
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r, err := Fig16(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The headline: congestion outlives the burst by a large factor.
+	if r.CongestionDurationNs < 5*r.BurstDurationNs {
+		t.Errorf("congestion %.2fms only %.1fx the burst %.2fms",
+			float64(r.CongestionDurationNs)/1e6,
+			float64(r.CongestionDurationNs)/float64(r.BurstDurationNs),
+			float64(r.BurstDurationNs)/1e6)
+	}
+	// Direct culprits exclude the burst; original culprits implicate it
+	// prominently.
+	if r.Direct.Burst > 5 {
+		t.Errorf("direct culprits contain %.1f%% burst, want ~0", r.Direct.Burst)
+	}
+	if r.Original.Burst < 20 {
+		t.Errorf("original culprits contain only %.1f%% burst", r.Original.Burst)
+	}
+	if r.OriginalBurst == 0 || r.OriginalBackground == 0 {
+		t.Errorf("original counts %v:%v; both principals should appear",
+			r.OriginalBurst, r.OriginalBackground)
+	}
+	if len(r.Depth) == 0 {
+		t.Error("no depth series")
+	}
+}
+
+// TestFig16TCPShape runs the closed-loop variant and checks it reproduces
+// the same qualitative diagnosis as the open-loop case study. Scale 0.1 is
+// the smallest at which the scenario is meaningful: TCP slow start needs
+// ~1 ms (5 RTTs) to reach the background's rate, and the burst must arrive
+// after that ramp.
+func TestFig16TCPShape(t *testing.T) {
+	r, err := Fig16TCP(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CongestionDurationNs < 5*r.BurstDurationNs {
+		t.Errorf("congestion only %.1fx the burst",
+			float64(r.CongestionDurationNs)/float64(r.BurstDurationNs))
+	}
+	if r.Direct.Burst > 5 {
+		t.Errorf("direct culprits contain %.1f%% burst, want ~0", r.Direct.Burst)
+	}
+	if r.Original.Burst < 20 {
+		t.Errorf("original culprits contain only %.1f%% burst", r.Original.Burst)
+	}
+}
+
+// TestConQuestComparison quantifies the §8 contrast: ConQuest answers the
+// victim's direct-culprit question at enqueue time, but an asynchronous
+// query after its snapshots rotate finds nothing, while PrintQueue still
+// answers.
+func TestConQuestComparison(t *testing.T) {
+	res, err := ConQuestComparison(150000, 1, 40, 20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Victims == 0 {
+		t.Fatal("no victims")
+	}
+	t.Logf("online %.3f/%.3f async %.3f/%.3f PQ %.3f/%.3f",
+		res.OnlinePrecision, res.OnlineRecall,
+		res.AsyncPrecision, res.AsyncRecall,
+		res.PQPrecision, res.PQRecall)
+	if res.OnlineRecall < 0.5 {
+		t.Errorf("ConQuest online recall %.3f; should answer enqueue-time queries well", res.OnlineRecall)
+	}
+	if res.AsyncRecall > 0.1 {
+		t.Errorf("ConQuest async recall %.3f; snapshots should have aged out", res.AsyncRecall)
+	}
+	if res.PQRecall < 0.4 {
+		t.Errorf("PrintQueue async recall %.3f; should answer after the fact", res.PQRecall)
+	}
+}

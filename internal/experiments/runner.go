@@ -1,0 +1,206 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§7), plus the shared machinery to wire a workload
+// through the simulated switch into PrintQueue, the ground-truth collector,
+// and the baselines. Each driver returns the rows/series the paper reports;
+// cmd/experiments prints them and bench_test.go regenerates them under
+// `go test -bench`.
+package experiments
+
+import (
+	"fmt"
+
+	"printqueue/internal/baseline/flowradar"
+	"printqueue/internal/baseline/hashpipe"
+	"printqueue/internal/core/control"
+	"printqueue/internal/core/qmonitor"
+	"printqueue/internal/core/timewindow"
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/switchsim"
+	"printqueue/internal/trace"
+)
+
+// RunConfig wires one single-port experiment.
+type RunConfig struct {
+	LinkBps     uint64
+	BufferCells int
+	TW          timewindow.Config
+	QM          qmonitor.Config
+	// QueuesPerPort and Scheduler configure the port; default FIFO/1.
+	QueuesPerPort int
+	Scheduler     switchsim.Scheduler
+	// ReadRateEntriesPerSec models the control-plane I/O budget (0 = inf).
+	ReadRateEntriesPerSec float64
+	// DPTriggerDepth, if > 0, fires a data-plane query for packets whose
+	// enqueue-time depth (cells) is at least this value.
+	DPTriggerDepth int
+	// MaxCheckpoints caps checkpoint history (0 = unlimited).
+	MaxCheckpoints int
+	// Baselines attaches HashPipe and FlowRadar runners reset at
+	// PrintQueue's poll period.
+	Baselines bool
+	HP        hashpipe.Config
+	FR        flowradar.Config
+}
+
+// Run is a finished single-port experiment: the PrintQueue system, the
+// ground truth, and optional baselines, all fed the same dequeue stream.
+type Run struct {
+	Port int
+	Sys  *control.System
+	GT   *groundtruth.Collector
+	HP   *hashpipe.Runner
+	FR   *flowradar.Runner
+	Sw   *switchsim.Switch
+}
+
+// Execute replays a packet schedule through a one-port switch with
+// everything attached, then finalizes all consumers.
+func Execute(pkts []*pktrec.Packet, cfg RunConfig) (*Run, error) {
+	if len(pkts) == 0 {
+		return nil, fmt.Errorf("experiments: empty packet schedule")
+	}
+	if cfg.QueuesPerPort <= 0 {
+		cfg.QueuesPerPort = 1
+	}
+	port := pkts[0].Port
+	sw, err := switchsim.NewSwitch(port+1, switchsim.PortConfig{
+		LinkBps:     cfg.LinkBps,
+		BufferCells: cfg.BufferCells,
+		Queues:      cfg.QueuesPerPort,
+		Scheduler:   cfg.Scheduler,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctrlCfg := control.Config{
+		TW:                    cfg.TW,
+		QM:                    cfg.QM,
+		Ports:                 []int{port},
+		QueuesPerPort:         cfg.QueuesPerPort,
+		ReadRateEntriesPerSec: cfg.ReadRateEntriesPerSec,
+		MaxCheckpoints:        cfg.MaxCheckpoints,
+	}
+	if cfg.DPTriggerDepth > 0 {
+		th := cfg.DPTriggerDepth
+		ctrlCfg.DPTrigger = func(p *pktrec.Packet) bool { return p.Meta.EnqQdepth >= th }
+	}
+	sys, err := control.New(ctrlCfg)
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{Port: port, Sys: sys, GT: groundtruth.NewCollector(), Sw: sw}
+	p := sw.Port(port)
+	p.AddEgressHook(run.GT)
+	p.AddEgressHook(switchsim.EgressFunc(sys.OnDequeue))
+	if cfg.Baselines {
+		period := ctrlCfg.TW.SetPeriod()
+		run.HP, err = hashpipe.NewRunner(cfg.HP, period)
+		if err != nil {
+			return nil, err
+		}
+		run.FR, err = flowradar.NewRunner(cfg.FR, period)
+		if err != nil {
+			return nil, err
+		}
+		p.AddEgressHook(switchsim.EgressFunc(func(pk *pktrec.Packet) {
+			t := pk.Meta.DeqTimestamp()
+			run.HP.Observe(pk.Flow, t)
+			run.FR.Observe(pk.Flow, t)
+		}))
+	}
+	for _, pk := range pkts {
+		sw.Inject(pk)
+	}
+	sw.Flush()
+	sys.Finalize(p.Now() + 1)
+	if run.HP != nil {
+		run.HP.Finalize()
+	}
+	if run.FR != nil {
+		run.FR.Finalize()
+	}
+	return run, nil
+}
+
+// WorkloadPreset bundles the paper's per-trace parameters (§7.1: m0=10 and
+// alpha=1 for WS/DM, m0=6 and alpha=2 for UW; T=4 and k=12 for all).
+type WorkloadPreset struct {
+	Workload trace.Workload
+	TW       timewindow.Config
+	QM       qmonitor.Config
+	LinkBps  uint64
+	// Trace shaping tuned so victims populate all queue-depth buckets.
+	Gen trace.Config
+}
+
+// Preset returns the paper's configuration for a workload. packets bounds
+// the trace length; seed makes it reproducible.
+func Preset(w trace.Workload, packets int, seed uint64) WorkloadPreset {
+	const linkBps = 10e9
+	p := WorkloadPreset{
+		Workload: w,
+		LinkBps:  linkBps,
+		QM:       qmonitor.Config{MaxDepthCells: 32768, GranuleCells: 2},
+		Gen: trace.Config{
+			Workload: w,
+			Seed:     seed,
+			LinkBps:  linkBps,
+			Packets:  packets,
+		},
+	}
+	switch w {
+	case trace.UW:
+		// ~100 B packets: min-packet tx delay ~80 ns at 10 Gbps; m0 = 6.
+		p.TW = timewindow.Config{M0: 6, K: 12, Alpha: 2, T: 4, MinPktTxDelayNs: 80}
+		p.Gen.Episodic = true
+		p.Gen.CalmLoad = 0.9
+		p.Gen.BurstLoad = 3.2
+		p.Gen.MeanCalmNs = 100e3
+		p.Gen.MeanBurstNs = 150e3
+		p.Gen.FlowArrivalRate = 30000
+	case trace.WS, trace.DM:
+		// near-MTU packets: tx delay ~1200 ns at 10 Gbps; m0 = 10.
+		p.TW = timewindow.Config{M0: 10, K: 12, Alpha: 1, T: 4, MinPktTxDelayNs: 1200}
+		p.QM.GranuleCells = 19 // one MTU packet
+		p.Gen.Episodic = true
+		p.Gen.CalmLoad = 0.9
+		p.Gen.BurstLoad = 2.2
+		p.Gen.MeanCalmNs = 500e3
+		p.Gen.MeanBurstNs = 1e6
+		p.Gen.FlowArrivalRate = 4000
+		// Near-MTU workloads keep tens of flows in flight (senders blast
+		// responses back-to-back); per-flow packet counts in a query
+		// interval then have the concentration the recovery relies on.
+		p.Gen.MaxActiveFlows = 32
+	}
+	return p
+}
+
+// RunConfigFor converts a preset into a RunConfig with a deep buffer and
+// baseline comparators matching the paper's resource parity (HashPipe and
+// FlowRadar: 4096 entries x 5 stages vs PrintQueue 4096 cells x 4 windows).
+func (p WorkloadPreset) RunConfigFor(baselines bool) RunConfig {
+	return RunConfig{
+		LinkBps:     p.LinkBps,
+		BufferCells: 40000,
+		TW:          p.TW,
+		QM:          p.QM,
+		Baselines:   baselines,
+		HP:          hashpipe.Config{Stages: 5, SlotsPerStage: 4096, Seed: 11},
+		FR:          flowradar.Config{Cells: 4096 * 4, KHash: 3, Seed: 13},
+	}
+}
+
+// DepthBuckets are the paper's queue-depth groups, in cells.
+var DepthBuckets = []struct {
+	Label  string
+	Lo, Hi int // Hi == 0 means unbounded
+}{
+	{"1-2", 1000, 2000},
+	{"2-5", 2000, 5000},
+	{"5-10", 5000, 10000},
+	{"10-15", 10000, 15000},
+	{"15-20", 15000, 20000},
+	{">20", 20000, 0},
+}

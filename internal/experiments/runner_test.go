@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"testing"
+
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/metrics"
+	"printqueue/internal/trace"
+)
+
+// TestSmokeUW runs a short UW trace end to end and checks that asynchronous
+// queries for victims' direct culprits recover the ground truth reasonably.
+func TestSmokeUW(t *testing.T) {
+	p := Preset(trace.UW, 200000, 1)
+	pkts, err := trace.Generate(p.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 100000 {
+		t.Fatalf("generator produced only %d packets", len(pkts))
+	}
+	run, err := Execute(pkts, p.RunConfigFor(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("packets dequeued: %d, dropped: %d, max depth: %d cells, checkpoints: %d",
+		run.GT.Len(), run.Sw.Port(run.Port).Stats().Dropped, run.GT.MaxDepth(), run.Sys.Stats().Checkpoints)
+	for _, b := range DepthBuckets {
+		n := len(run.GT.SampleVictims(groundtruth.DepthBucket(b.Lo, b.Hi), 0))
+		t.Logf("bucket %-6s: %d packets", b.Label, n)
+	}
+	if run.GT.MaxDepth() < 2000 {
+		t.Fatalf("workload never built meaningful queues (max depth %d cells)", run.GT.MaxDepth())
+	}
+	victims := run.GT.SampleVictims(groundtruth.DepthBucket(1000, 0), 50)
+	if len(victims) == 0 {
+		t.Fatal("no victims with queue depth >= 1000 cells")
+	}
+	var ps, rs metrics.Sample
+	for _, vi := range victims {
+		v := run.GT.Record(vi)
+		est, err := run.Sys.QueryInterval(run.Port, v.EnqTimestamp, v.DeqTimestamp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := run.GT.DirectTruth(vi)
+		p, r := metrics.PrecisionRecall(est, truth)
+		ps.Add(p)
+		rs.Add(r)
+	}
+	t.Logf("victims=%d mean precision=%.3f mean recall=%.3f", len(victims), ps.Mean(), rs.Mean())
+	// Paper Table 2 reports 0.684/0.634 for UW asynchronous queries; allow
+	// generous slack for the synthetic trace.
+	if ps.Mean() < 0.5 || rs.Mean() < 0.35 {
+		t.Errorf("accuracy too low: precision %.3f recall %.3f", ps.Mean(), rs.Mean())
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"printqueue/internal/switchsim"
+)
+
+// TestSchedulerAgnosticism validates the §2/§4 claim: direct-culprit
+// accuracy is comparable under FIFO, strict priority, DRR, and PIFO.
+func TestSchedulerAgnosticism(t *testing.T) {
+	rows, err := SchedulerAgnosticism(100000, 1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	seen := map[switchsim.Scheduler]bool{}
+	for _, r := range rows {
+		t.Logf("%-16v precision=%.3f recall=%.3f victims=%d maxDepth=%d",
+			r.Scheduler, r.Precision, r.Recall, r.Victims, r.MaxDepth)
+		seen[r.Scheduler] = true
+		if r.Victims == 0 {
+			t.Fatalf("%v: no victims", r.Scheduler)
+		}
+		// The mechanism must stay functional under every discipline.
+		// Absolute accuracy legitimately varies: priority disciplines
+		// starve low-priority victims into much longer queuing intervals
+		// than FIFO produces, which shifts the victim population toward
+		// harder (older, deeper-window) queries.
+		if r.Precision < 0.5 || r.Recall < 0.3 {
+			t.Errorf("%v accuracy %.3f/%.3f implausibly low", r.Scheduler, r.Precision, r.Recall)
+		}
+	}
+	for _, s := range []switchsim.Scheduler{switchsim.FIFO, switchsim.StrictPriority, switchsim.DRR, switchsim.PIFO} {
+		if !seen[s] {
+			t.Errorf("missing scheduler %v", s)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"testing"
+
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/metrics"
+	"printqueue/internal/trace"
+)
+
+// TestSoak replays a multi-million-packet UW trace — several dozen set
+// periods, hundreds of congestion episodes — with a bounded checkpoint
+// history, and verifies the system stays healthy end to end: checkpoints
+// chain without gaps, data-plane queries keep firing, and accuracy holds
+// for recent victims. Skipped under -short.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const packets = 3000000
+	preset := Preset(trace.UW, packets, 99)
+	pkts, err := trace.Generate(preset.Gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := preset.RunConfigFor(false)
+	cfg.DPTriggerDepth = 2000
+	cfg.ReadRateEntriesPerSec = 50e6
+	cfg.MaxCheckpoints = 128
+	run, err := Execute(pkts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := run.Sys.Stats()
+	t.Logf("packets=%d checkpoints=%d specials=%d suppressed=%d entriesRead=%d",
+		st.PacketsObserved, st.Checkpoints, st.SpecialFreezes, st.DPSuppressed, st.EntriesRead)
+	if st.PacketsObserved < packets*9/10 {
+		t.Fatalf("observed %d of %d packets", st.PacketsObserved, packets)
+	}
+	// Under sustained deep congestion the data-plane freezes fire so often
+	// that they substitute for the periodic poll (each freeze restarts the
+	// poll timer); coverage is what matters, and it chains across both
+	// kinds.
+	if st.Checkpoints+st.SpecialFreezes < 10 {
+		t.Fatalf("only %d freezes over a long run", st.Checkpoints+st.SpecialFreezes)
+	}
+	if st.SpecialFreezes == 0 {
+		t.Fatal("no data-plane queries over hundreds of episodes")
+	}
+	cps := run.Sys.Checkpoints(run.Port)
+	if len(cps) > cfg.MaxCheckpoints {
+		t.Fatalf("history %d exceeds cap %d", len(cps), cfg.MaxCheckpoints)
+	}
+	for i := 1; i < len(cps); i++ {
+		if cps[i].PrevFreeze != cps[i-1].FreezeTime {
+			t.Fatalf("checkpoint chain gap at %d", i)
+		}
+	}
+	// Recent victims (still inside the retained history) answer well.
+	victims := run.GT.SampleVictims(groundtruth.DepthBucket(2000, 0), 0)
+	if len(victims) == 0 {
+		t.Fatal("no victims")
+	}
+	recent := victims[len(victims)-40:]
+	var ps, rs metrics.Sample
+	for _, vi := range recent {
+		v := run.GT.Record(vi)
+		est, err := run.Sys.QueryInterval(run.Port, v.EnqTimestamp, v.DeqTimestamp())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, r := metrics.PrecisionRecall(est, run.GT.DirectTruth(vi))
+		ps.Add(p)
+		rs.Add(r)
+	}
+	t.Logf("recent victims: precision %.3f recall %.3f", ps.Mean(), rs.Mean())
+	if ps.Mean() < 0.6 || rs.Mean() < 0.5 {
+		t.Fatalf("late-run accuracy degraded: %.3f/%.3f", ps.Mean(), rs.Mean())
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/trace"
+)
+
+// Table2Row is one trace row of Table 2: average precision/recall of
+// PrintQueue (asynchronous queries), HashPipe, and FlowRadar.
+type Table2Row struct {
+	Trace                 trace.Workload
+	PQPrecision, PQRecall float64
+	HPPrecision, HPRecall float64
+	FRPrecision, FRRecall float64
+	Victims               int
+}
+
+// Table2 reproduces "Average precision/recall of PrintQueue, HashPipe, and
+// FlowRadar under different traces". Baselines are reset at PrintQueue's
+// set period and prorated over the query interval, and PrintQueue answers
+// with asynchronous queries only — both exactly as the paper's fair
+// comparison specifies (§7.1).
+func Table2(packets int, seed uint64, victims int) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, w := range []trace.Workload{trace.UW, trace.WS, trace.DM} {
+		preset := Preset(w, packets, seed)
+		pkts, err := trace.Generate(preset.Gen)
+		if err != nil {
+			return nil, err
+		}
+		run, err := Execute(pkts, preset.RunConfigFor(true))
+		if err != nil {
+			return nil, err
+		}
+		// Victims across all congested depths, as in the paper's averages.
+		vs := run.GT.SampleVictims(groundtruth.DepthBucket(1000, 0), victims)
+		pqP, pqR, err := evalVictimsPQ(run, vs)
+		if err != nil {
+			return nil, err
+		}
+		hpP, hpR := evalVictimsFn(run, vs, run.HP.Query)
+		frP, frR := evalVictimsFn(run, vs, run.FR.Query)
+		rows = append(rows, Table2Row{
+			Trace:       w,
+			PQPrecision: pqP.Mean(), PQRecall: pqR.Mean(),
+			HPPrecision: hpP.Mean(), HPRecall: hpR.Mean(),
+			FRPrecision: frP.Mean(), FRRecall: frR.Mean(),
+			Victims: pqP.N(),
+		})
+	}
+	return rows, nil
+}

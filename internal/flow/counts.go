@@ -1,0 +1,83 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counts maps flows to (possibly estimated, therefore fractional) packet
+// counts. It is the common currency between time-window queries, baseline
+// estimates, and ground truth.
+type Counts map[Key]float64
+
+// Add accumulates n packets for flow k.
+func (c Counts) Add(k Key, n float64) { c[k] += n }
+
+// Total returns the sum of all counts.
+func (c Counts) Total() float64 {
+	var t float64
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// Clone returns a deep copy of c.
+func (c Counts) Clone() Counts {
+	out := make(Counts, len(c))
+	for k, n := range c {
+		out[k] = n
+	}
+	return out
+}
+
+// Merge adds every count of other into c.
+func (c Counts) Merge(other Counts) {
+	for k, n := range other {
+		c[k] += n
+	}
+}
+
+// Scale multiplies every count by f and returns c for chaining.
+func (c Counts) Scale(f float64) Counts {
+	for k := range c {
+		c[k] *= f
+	}
+	return c
+}
+
+// Entry is a (flow, count) pair used for ordered reporting.
+type Entry struct {
+	Flow  Key
+	Count float64
+}
+
+// TopK returns the k largest flows by count, descending, ties broken by the
+// flow key's string form for determinism. k <= 0 or k >= len(c) returns all
+// flows sorted.
+func (c Counts) TopK(k int) []Entry {
+	entries := make([]Entry, 0, len(c))
+	for f, n := range c {
+		entries = append(entries, Entry{Flow: f, Count: n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Count != entries[j].Count {
+			return entries[i].Count > entries[j].Count
+		}
+		return entries[i].Flow.String() < entries[j].Flow.String()
+	})
+	if k > 0 && k < len(entries) {
+		entries = entries[:k]
+	}
+	return entries
+}
+
+// String renders the counts as a human-readable table, largest flows first.
+func (c Counts) String() string {
+	var b strings.Builder
+	for _, e := range c.TopK(0) {
+		fmt.Fprintf(&b, "%-48s %10.1f\n", e.Flow, e.Count)
+	}
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+)
+
+func k(n byte) Key {
+	return Key{SrcIP: [4]byte{10, 0, 0, n}, DstIP: [4]byte{10, 0, 1, 1}, SrcPort: 1, DstPort: 2, Proto: ProtoTCP}
+}
+
+func TestCountsBasics(t *testing.T) {
+	c := make(Counts)
+	c.Add(k(1), 3)
+	c.Add(k(1), 2)
+	c.Add(k(2), 1)
+	if c[k(1)] != 5 || c.Total() != 6 {
+		t.Fatalf("counts = %v", c)
+	}
+	clone := c.Clone()
+	clone.Add(k(1), 10)
+	if c[k(1)] != 5 {
+		t.Fatal("clone aliases original")
+	}
+	c.Merge(Counts{k(3): 4})
+	if c[k(3)] != 4 || c.Total() != 10 {
+		t.Fatalf("after merge: %v", c)
+	}
+	c.Scale(0.5)
+	if c[k(1)] != 2.5 || c.Total() != 5 {
+		t.Fatalf("after scale: %v", c)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	c := Counts{k(1): 5, k(2): 9, k(3): 1, k(4): 9}
+	top := c.TopK(2)
+	if len(top) != 2 {
+		t.Fatalf("TopK(2) returned %d entries", len(top))
+	}
+	if top[0].Count != 9 || top[1].Count != 9 {
+		t.Fatalf("TopK order wrong: %v", top)
+	}
+	// Ties break deterministically by flow string.
+	if !(top[0].Flow.String() < top[1].Flow.String()) {
+		t.Fatalf("tie break wrong: %v then %v", top[0].Flow, top[1].Flow)
+	}
+	all := c.TopK(0)
+	if len(all) != 4 || all[3].Flow != k(3) {
+		t.Fatalf("TopK(0) = %v", all)
+	}
+	if got := c.TopK(99); len(got) != 4 {
+		t.Fatalf("TopK over-length = %v", got)
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	c := Counts{k(1): 2, k(2): 7}
+	s := c.String()
+	if !strings.Contains(s, "7.0") || !strings.Contains(s, "2.0") {
+		t.Fatalf("String = %q", s)
+	}
+	// Largest first.
+	if strings.Index(s, "7.0") > strings.Index(s, "2.0") {
+		t.Fatalf("order wrong: %q", s)
+	}
+}

@@ -1,0 +1,205 @@
+// Package flow defines flow identity for PrintQueue: the 5-tuple key the
+// paper uses to aggregate culprit packets ("Flow ID, expressed as 5-Tuple"),
+// plus hashing and per-flow counting helpers shared by the data-plane
+// structures, the baselines, and the ground-truth scorer.
+package flow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Proto is an IP protocol number. Only TCP and UDP appear in the paper's
+// workloads, but any 8-bit protocol is representable.
+type Proto uint8
+
+// Protocol numbers used by the workload generators.
+const (
+	ProtoTCP Proto = 6
+	ProtoUDP Proto = 17
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return "proto" + strconv.Itoa(int(p))
+	}
+}
+
+// Key is a 5-tuple flow identifier. It is comparable and therefore usable as
+// a map key, and compact enough (13 bytes + padding) to store per register
+// cell in the simulator.
+type Key struct {
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// Zero is the zero Key. An all-zero 5-tuple never appears in generated
+// workloads, so data structures may use it as "empty cell".
+var Zero Key
+
+// IsZero reports whether k is the zero (empty) key.
+func (k Key) IsZero() bool { return k == Zero }
+
+// NewKey builds a Key from addr/port pairs.
+func NewKey(src netip.Addr, sport uint16, dst netip.Addr, dport uint16, proto Proto) Key {
+	var k Key
+	k.SrcIP = src.As4()
+	k.DstIP = dst.As4()
+	k.SrcPort = sport
+	k.DstPort = dport
+	k.Proto = proto
+	return k
+}
+
+// Src returns the source address of the flow.
+func (k Key) Src() netip.Addr { return netip.AddrFrom4(k.SrcIP) }
+
+// Dst returns the destination address of the flow.
+func (k Key) Dst() netip.Addr { return netip.AddrFrom4(k.DstIP) }
+
+// Reverse returns the key of the opposite direction of the flow.
+func (k Key) Reverse() Key {
+	return Key{
+		SrcIP:   k.DstIP,
+		DstIP:   k.SrcIP,
+		SrcPort: k.DstPort,
+		DstPort: k.SrcPort,
+		Proto:   k.Proto,
+	}
+}
+
+// String renders the key as "src:sport>dst:dport/proto".
+func (k Key) String() string {
+	if k.IsZero() {
+		return "<none>"
+	}
+	return fmt.Sprintf("%s:%d>%s:%d/%s", k.Src(), k.SrcPort, k.Dst(), k.DstPort, k.Proto)
+}
+
+// ParseKey parses the format produced by String. It accepts "<none>" for the
+// zero key.
+func ParseKey(s string) (Key, error) {
+	if s == "<none>" {
+		return Zero, nil
+	}
+	slash := strings.LastIndexByte(s, '/')
+	if slash < 0 {
+		return Zero, fmt.Errorf("flow: missing protocol in %q", s)
+	}
+	var proto Proto
+	switch ps := s[slash+1:]; ps {
+	case "tcp":
+		proto = ProtoTCP
+	case "udp":
+		proto = ProtoUDP
+	default:
+		if !strings.HasPrefix(ps, "proto") {
+			return Zero, fmt.Errorf("flow: bad protocol %q", ps)
+		}
+		n, err := strconv.ParseUint(ps[len("proto"):], 10, 8)
+		if err != nil {
+			return Zero, fmt.Errorf("flow: bad protocol %q: %v", ps, err)
+		}
+		proto = Proto(n)
+	}
+	gt := strings.IndexByte(s, '>')
+	if gt < 0 {
+		return Zero, fmt.Errorf("flow: missing '>' in %q", s)
+	}
+	src, sport, err := parseHostPort(s[:gt])
+	if err != nil {
+		return Zero, err
+	}
+	dst, dport, err := parseHostPort(s[gt+1 : slash])
+	if err != nil {
+		return Zero, err
+	}
+	return NewKey(src, sport, dst, dport, proto), nil
+}
+
+func parseHostPort(s string) (netip.Addr, uint16, error) {
+	colon := strings.LastIndexByte(s, ':')
+	if colon < 0 {
+		return netip.Addr{}, 0, fmt.Errorf("flow: missing port in %q", s)
+	}
+	addr, err := netip.ParseAddr(s[:colon])
+	if err != nil {
+		return netip.Addr{}, 0, fmt.Errorf("flow: bad address in %q: %v", s, err)
+	}
+	if !addr.Is4() {
+		return netip.Addr{}, 0, fmt.Errorf("flow: only IPv4 keys supported, got %q", s)
+	}
+	port, err := strconv.ParseUint(s[colon+1:], 10, 16)
+	if err != nil {
+		return netip.Addr{}, 0, fmt.Errorf("flow: bad port in %q: %v", s, err)
+	}
+	return addr, uint16(port), nil
+}
+
+// AppendBinary appends the 13-byte fixed-width wire encoding of k to b.
+func (k Key) AppendBinary(b []byte) []byte {
+	b = append(b, k.SrcIP[:]...)
+	b = append(b, k.DstIP[:]...)
+	b = binary.BigEndian.AppendUint16(b, k.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, k.DstPort)
+	return append(b, byte(k.Proto))
+}
+
+// KeyWireSize is the size of a Key's binary encoding.
+const KeyWireSize = 13
+
+// DecodeKey decodes a key previously encoded with AppendBinary. It returns
+// the decoded key and the remaining bytes.
+func DecodeKey(b []byte) (Key, []byte, error) {
+	if len(b) < KeyWireSize {
+		return Zero, b, fmt.Errorf("flow: short key encoding (%d bytes)", len(b))
+	}
+	var k Key
+	copy(k.SrcIP[:], b[0:4])
+	copy(k.DstIP[:], b[4:8])
+	k.SrcPort = binary.BigEndian.Uint16(b[8:10])
+	k.DstPort = binary.BigEndian.Uint16(b[10:12])
+	k.Proto = Proto(b[12])
+	return k, b[KeyWireSize:], nil
+}
+
+// Hash returns a 64-bit hash of the key. The function is a fixed-key
+// SplitMix64 avalanche over the packed tuple: deterministic across runs so
+// experiments are reproducible, and well distributed so the baselines'
+// hash-table stages behave like their papers assume.
+func (k Key) Hash(seed uint64) uint64 {
+	var buf [16]byte
+	copy(buf[0:4], k.SrcIP[:])
+	copy(buf[4:8], k.DstIP[:])
+	binary.BigEndian.PutUint16(buf[8:10], k.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], k.DstPort)
+	buf[12] = byte(k.Proto)
+	lo := binary.LittleEndian.Uint64(buf[0:8])
+	hi := binary.LittleEndian.Uint64(buf[8:16])
+	return mix64(mix64(lo^seed) ^ hi)
+}
+
+// Hash32 returns a 32-bit hash, as a hardware pipeline computing a CRC-based
+// flow digest would produce.
+func (k Key) Hash32(seed uint64) uint32 {
+	return uint32(k.Hash(seed) >> 32)
+}
+
+// mix64 is the SplitMix64 finalizer.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

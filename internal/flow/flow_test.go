@@ -1,0 +1,117 @@
+package flow
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func sampleKey() Key {
+	return NewKey(netip.MustParseAddr("10.1.2.3"), 12345, netip.MustParseAddr("192.168.0.9"), 443, ProtoTCP)
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	tests := []Key{
+		sampleKey(),
+		NewKey(netip.MustParseAddr("1.2.3.4"), 0, netip.MustParseAddr("5.6.7.8"), 65535, ProtoUDP),
+		NewKey(netip.MustParseAddr("255.255.255.255"), 1, netip.MustParseAddr("0.0.0.1"), 2, Proto(89)),
+		Zero,
+	}
+	for _, k := range tests {
+		got, err := ParseKey(k.String())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("round trip %q: got %v", k.String(), got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "nonsense", "1.2.3.4:5>6.7.8.9:10", // missing proto
+		"1.2.3.4>5.6.7.8:10/tcp",         // missing src port
+		"1.2.3.4:5>6.7.8.9:10/bogus",     // bad proto
+		"1.2.3.4:5>6.7.8.9:10/proto9999", // proto overflow
+		"::1:5>6.7.8.9:10/tcp",           // v6 not supported
+		"1.2.3.4:99999>5.6.7.8:10/udp",   // port overflow
+	}
+	for _, s := range bad {
+		if _, err := ParseKey(s); err == nil {
+			t.Errorf("ParseKey(%q) succeeded", s)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(a, b [4]byte, sp, dp uint16, proto uint8) bool {
+		k := Key{SrcIP: a, DstIP: b, SrcPort: sp, DstPort: dp, Proto: Proto(proto)}
+		enc := k.AppendBinary(nil)
+		if len(enc) != KeyWireSize {
+			return false
+		}
+		got, rest, err := DecodeKey(enc)
+		return err == nil && len(rest) == 0 && got == k
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeKeyShort(t *testing.T) {
+	if _, _, err := DecodeKey(make([]byte, KeyWireSize-1)); err == nil {
+		t.Fatal("short decode succeeded")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	k := sampleKey()
+	r := k.Reverse()
+	if r.SrcIP != k.DstIP || r.DstIP != k.SrcIP || r.SrcPort != k.DstPort || r.DstPort != k.SrcPort {
+		t.Fatalf("Reverse = %v", r)
+	}
+	if r.Reverse() != k {
+		t.Fatal("Reverse not an involution")
+	}
+}
+
+func TestHashDeterministicAndSeeded(t *testing.T) {
+	k := sampleKey()
+	if k.Hash(1) != k.Hash(1) {
+		t.Fatal("hash not deterministic")
+	}
+	if k.Hash(1) == k.Hash(2) {
+		t.Fatal("seeds do not separate hashes")
+	}
+	if k.Hash(1) == k.Reverse().Hash(1) {
+		t.Fatal("directions collide")
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// 4096 sequential flows into 64 buckets: no bucket should be badly
+	// overloaded if the hash avalanches.
+	buckets := make([]int, 64)
+	for i := 0; i < 4096; i++ {
+		k := Key{SrcIP: [4]byte{10, 0, byte(i >> 8), byte(i)}, DstIP: [4]byte{10, 0, 0, 1}, SrcPort: 80, DstPort: 80, Proto: ProtoTCP}
+		buckets[k.Hash(7)&63]++
+	}
+	for i, n := range buckets {
+		if n < 24 || n > 110 { // expectation 64
+			t.Fatalf("bucket %d holds %d of 4096 (expected ~64)", i, n)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() || sampleKey().IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if ProtoTCP.String() != "tcp" || ProtoUDP.String() != "udp" || Proto(47).String() != "proto47" {
+		t.Fatal("proto names wrong")
+	}
+}

@@ -1,0 +1,51 @@
+package flow
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseKey checks ParseKey never panics and that accepted inputs
+// round-trip through String.
+func FuzzParseKey(f *testing.F) {
+	f.Add("10.1.2.3:12345>192.168.0.9:443/tcp")
+	f.Add("1.2.3.4:0>5.6.7.8:65535/udp")
+	f.Add("<none>")
+	f.Add("255.255.255.255:1>0.0.0.1:2/proto89")
+	f.Add("garbage")
+	f.Add(":>:/")
+	f.Fuzz(func(t *testing.T, s string) {
+		k, err := ParseKey(s)
+		if err != nil {
+			return
+		}
+		again, err := ParseKey(k.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q (from %q): %v", k.String(), s, err)
+		}
+		if again != k {
+			t.Fatalf("round trip changed key: %v -> %v", k, again)
+		}
+	})
+}
+
+// FuzzDecodeKey checks the binary decoder never panics and that decoded
+// keys re-encode to the same bytes.
+func FuzzDecodeKey(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, KeyWireSize))
+	f.Add(bytes.Repeat([]byte{0xFF}, KeyWireSize+3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, rest, err := DecodeKey(data)
+		if err != nil {
+			return
+		}
+		if len(data)-len(rest) != KeyWireSize {
+			t.Fatalf("consumed %d bytes, want %d", len(data)-len(rest), KeyWireSize)
+		}
+		enc := k.AppendBinary(nil)
+		if !bytes.Equal(enc, data[:KeyWireSize]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", enc, data[:KeyWireSize])
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package groundtruth
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"printqueue/internal/pktrec"
+)
+
+// Telemetry log file format — the offline stand-in for the files the
+// paper's DPDK receiver writes ("store the telemetry headers in files"):
+//
+//	header:  magic "PQGT" | uint16 version | uint64 record count
+//	record:  pktrec.Telemetry wire encoding (TelemetryWireSize bytes)
+//
+// Integers are big-endian; records are in dequeue order.
+
+const (
+	logMagic   = "PQGT"
+	logVersion = 1
+)
+
+// WriteLog writes the collector's records to w.
+func (c *Collector) WriteLog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(logMagic); err != nil {
+		return err
+	}
+	var hdr [10]byte
+	binary.BigEndian.PutUint16(hdr[0:2], logVersion)
+	binary.BigEndian.PutUint64(hdr[2:10], uint64(len(c.recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, pktrec.TelemetryWireSize)
+	for _, r := range c.recs {
+		buf = r.AppendBinary(buf[:0])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog reads a telemetry log into a fresh collector, verifying dequeue
+// order.
+func ReadLog(r io.Reader) (*Collector, error) {
+	br := bufio.NewReader(r)
+	var hdr [14]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("groundtruth: reading header: %w", err)
+	}
+	if string(hdr[0:4]) != logMagic {
+		return nil, fmt.Errorf("groundtruth: bad magic %q", hdr[0:4])
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != logVersion {
+		return nil, fmt.Errorf("groundtruth: unsupported version %d", v)
+	}
+	count := binary.BigEndian.Uint64(hdr[6:14])
+	const maxRecords = 1 << 31
+	if count > maxRecords {
+		return nil, fmt.Errorf("groundtruth: implausible record count %d", count)
+	}
+	c := &Collector{recs: make([]pktrec.Telemetry, 0, count)}
+	buf := make([]byte, pktrec.TelemetryWireSize)
+	var prevDeq uint64
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("groundtruth: record %d: %w", i, err)
+		}
+		rec, _, err := pktrec.DecodeTelemetry(buf)
+		if err != nil {
+			return nil, err
+		}
+		if d := rec.DeqTimestamp(); d < prevDeq {
+			return nil, fmt.Errorf("groundtruth: record %d out of dequeue order", i)
+		} else {
+			prevDeq = d
+		}
+		c.recs = append(c.recs, rec)
+	}
+	return c, nil
+}

@@ -1,0 +1,71 @@
+package groundtruth
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLogRoundTrip(t *testing.T) {
+	c := fixture()
+	var buf bytes.Buffer
+	if err := c.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("read %d records, wrote %d", got.Len(), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		if got.Record(i) != c.Record(i) {
+			t.Fatalf("record %d differs: %+v vs %+v", i, got.Record(i), c.Record(i))
+		}
+	}
+	// Derived truths match on the replayed log.
+	want := c.DirectTruth(4)
+	have := got.DirectTruth(4)
+	if len(want) != len(have) {
+		t.Fatalf("direct truth differs: %v vs %v", have, want)
+	}
+}
+
+func TestLogEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewCollector().WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLog(&buf)
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestReadLogErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"bad version": []byte("PQGT\x00\x09\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"truncated":   []byte("PQGT\x00\x01\x00\x00\x00\x00\x00\x00\x00\x02abc"),
+		"absurd":      append([]byte("PQGT\x00\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := ReadLog(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadLog succeeded", name)
+		}
+	}
+}
+
+func TestReadLogRejectsDisorder(t *testing.T) {
+	c := NewCollector()
+	c.Add(rec('A', 100, 500, 1, 80))
+	c.Add(rec('B', 110, 200, 2, 80)) // dequeues before A: out of order
+	var buf bytes.Buffer
+	if err := c.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(&buf); err == nil {
+		t.Fatal("out-of-order log accepted")
+	}
+}

@@ -1,0 +1,216 @@
+// Package groundtruth plays the role of the paper's instrumented receiver:
+// the switch inserts a telemetry header (enqueue/dequeue timestamps, queue
+// depth at enqueue) into every packet, and a DPDK receiver logs them; the
+// evaluation later derives the true culprit sets from the log. Here the
+// Collector hooks the simulated egress port directly and offers the same
+// derivations: per-flow counts over any dequeue-time interval (direct and
+// indirect culprit truth), congestion-regime boundaries, and the exact
+// original-culprit staircase.
+package groundtruth
+
+import (
+	"fmt"
+	"sort"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+)
+
+// Collector records the telemetry of every packet leaving one port, in
+// dequeue order.
+type Collector struct {
+	recs []pktrec.Telemetry
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// OnDequeue implements the switch egress hook.
+func (c *Collector) OnDequeue(p *pktrec.Packet) {
+	c.recs = append(c.recs, pktrec.FromPacket(p))
+}
+
+// Add appends a pre-built telemetry record (used when replaying logged
+// traces). Records must arrive in dequeue order.
+func (c *Collector) Add(t pktrec.Telemetry) { c.recs = append(c.recs, t) }
+
+// Len returns the number of recorded packets.
+func (c *Collector) Len() int { return len(c.recs) }
+
+// Record returns record i (dequeue order).
+func (c *Collector) Record(i int) pktrec.Telemetry { return c.recs[i] }
+
+// Records exposes the full log (read-only by convention).
+func (c *Collector) Records() []pktrec.Telemetry { return c.recs }
+
+// searchDeq returns the index of the first record with dequeue timestamp
+// >= t. Records are sorted by dequeue time by construction.
+func (c *Collector) searchDeq(t uint64) int {
+	return sort.Search(len(c.recs), func(i int) bool { return c.recs[i].DeqTimestamp() >= t })
+}
+
+// FindByDeq locates the record of flow k dequeued exactly at deqTS.
+func (c *Collector) FindByDeq(deqTS uint64, k flow.Key) (int, bool) {
+	for i := c.searchDeq(deqTS); i < len(c.recs) && c.recs[i].DeqTimestamp() == deqTS; i++ {
+		if c.recs[i].Flow == k {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// CountsInInterval returns the true per-flow packet counts dequeued during
+// [start, end) — the ground truth for time-window queries.
+func (c *Collector) CountsInInterval(start, end uint64) flow.Counts {
+	out := make(flow.Counts)
+	for i := c.searchDeq(start); i < len(c.recs); i++ {
+		if c.recs[i].DeqTimestamp() >= end {
+			break
+		}
+		out.Add(c.recs[i].Flow, 1)
+	}
+	return out
+}
+
+// PacketsInInterval counts packets dequeued during [start, end).
+func (c *Collector) PacketsInInterval(start, end uint64) int {
+	lo := c.searchDeq(start)
+	hi := c.searchDeq(end)
+	return hi - lo
+}
+
+// DirectTruth returns the true direct culprits of the victim at record
+// index i: per-flow counts of the packets dequeued during the victim's
+// residence [t_enq, t_deq). The victim itself is excluded.
+func (c *Collector) DirectTruth(i int) flow.Counts {
+	v := c.recs[i]
+	out := c.CountsInInterval(v.EnqTimestamp, v.DeqTimestamp())
+	if n := out[v.Flow]; n > 0 {
+		if n == 1 {
+			delete(out, v.Flow)
+		} else {
+			out[v.Flow] = n - 1
+		}
+	}
+	return out
+}
+
+// RegimeStart returns the beginning of the congestion regime containing
+// victim record i: walking back from the victim's enqueue, the enqueue time
+// of the earliest packet after the queue was last empty. A packet saw an
+// empty queue if its enqueue-time depth equals its own footprint in cells.
+func (c *Collector) RegimeStart(i int) uint64 {
+	v := c.recs[i]
+	start := v.EnqTimestamp
+	// Dequeue order equals enqueue order under FIFO, so walking records
+	// backwards walks arrivals backwards.
+	for j := i; j >= 0; j-- {
+		r := c.recs[j]
+		if r.EnqTimestamp > v.EnqTimestamp {
+			continue
+		}
+		start = r.EnqTimestamp
+		if int(r.EnqQdepth) <= pktrec.Cells(int(r.Bytes)) {
+			// This packet found the queue empty: the regime starts here.
+			break
+		}
+	}
+	return start
+}
+
+// IndirectTruth returns the true indirect culprits of victim record i:
+// per-flow counts of packets dequeued in [regimeStart, t_enq).
+func (c *Collector) IndirectTruth(i int) flow.Counts {
+	v := c.recs[i]
+	return c.CountsInInterval(c.RegimeStart(i), v.EnqTimestamp)
+}
+
+// OriginalTruth returns the exact original culprits as of the enqueue of
+// record i: replaying arrivals in order, it maintains the high-water
+// staircase — the packets whose arrival raised the queue to a level not
+// since drained below — and reports the survivors' per-flow counts. This is
+// the infinite-resolution ideal the queue monitor approximates.
+func (c *Collector) OriginalTruth(i int) flow.Counts {
+	type stackEnt struct {
+		f  flow.Key
+		hi int // depth in cells this packet raised the queue to
+	}
+	var stack []stackEnt
+	for j := 0; j <= i; j++ {
+		r := c.recs[j]
+		if r.EnqTimestamp > c.recs[i].EnqTimestamp {
+			continue
+		}
+		hi := int(r.EnqQdepth)
+		// The queue stood at hi - cells(r) just before this packet arrived;
+		// pop packets whose level has drained away since they raised it.
+		before := hi - pktrec.Cells(int(r.Bytes))
+		for len(stack) > 0 && stack[len(stack)-1].hi > before {
+			stack = stack[:len(stack)-1]
+		}
+		stack = append(stack, stackEnt{f: r.Flow, hi: hi})
+	}
+	out := make(flow.Counts)
+	for _, e := range stack {
+		out.Add(e.f, 1)
+	}
+	return out
+}
+
+// VictimFilter selects victim candidates.
+type VictimFilter func(t pktrec.Telemetry) bool
+
+// DepthBucket returns a filter matching victims whose enqueue-time queue
+// depth (in cells) lies in [lo, hi); hi == 0 means unbounded — the paper's
+// ">20k" bucket.
+func DepthBucket(lo, hi int) VictimFilter {
+	return func(t pktrec.Telemetry) bool {
+		d := int(t.EnqQdepth)
+		return d >= lo && (hi == 0 || d < hi)
+	}
+}
+
+// FlowIs returns a filter matching packets of one flow.
+func FlowIs(k flow.Key) VictimFilter {
+	return func(t pktrec.Telemetry) bool { return t.Flow == k }
+}
+
+// SampleVictims picks up to n record indices matching the filter, evenly
+// spaced over the matches for determinism (the paper samples 100 victims
+// per bucket; "larger sample sizes produced similar results").
+func (c *Collector) SampleVictims(filter VictimFilter, n int) []int {
+	var matches []int
+	for i, r := range c.recs {
+		if filter(r) {
+			matches = append(matches, i)
+		}
+	}
+	if n <= 0 || len(matches) <= n {
+		return matches
+	}
+	out := make([]int, 0, n)
+	step := float64(len(matches)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, matches[int(float64(i)*step)])
+	}
+	return out
+}
+
+// MaxDepth returns the maximum enqueue-time depth observed, in cells.
+func (c *Collector) MaxDepth() int {
+	max := 0
+	for _, r := range c.recs {
+		if int(r.EnqQdepth) > max {
+			max = int(r.EnqQdepth)
+		}
+	}
+	return max
+}
+
+// TimeSpan returns the dequeue-time range covered by the log.
+func (c *Collector) TimeSpan() (start, end uint64, err error) {
+	if len(c.recs) == 0 {
+		return 0, 0, fmt.Errorf("groundtruth: empty log")
+	}
+	return c.recs[0].DeqTimestamp(), c.recs[len(c.recs)-1].DeqTimestamp(), nil
+}

@@ -1,0 +1,182 @@
+package groundtruth
+
+import (
+	"testing"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+)
+
+func fkey(n byte) flow.Key {
+	return flow.Key{SrcIP: [4]byte{10, 0, 0, n}, DstIP: [4]byte{10, 0, 1, 1}, SrcPort: 1, DstPort: 2, Proto: flow.ProtoTCP}
+}
+
+// rec builds a telemetry record; depth is in cells and includes the packet.
+func rec(f byte, enq, deq uint64, depth int, bytes int) pktrec.Telemetry {
+	return pktrec.Telemetry{
+		Flow:         fkey(f),
+		EnqTimestamp: enq,
+		DeqTimedelta: deq - enq,
+		EnqQdepth:    uint32(depth),
+		Bytes:        uint32(bytes),
+	}
+}
+
+// fixture: a small congestion regime, FIFO, 80-byte packets (1 cell each).
+//
+//	idx  flow  enq   deq   depth
+//	0    A     100   100   1      (empty queue: regime start)
+//	1    B     110   200   2
+//	2    C     120   300   3
+//	3    A     130   400   4
+//	4    D     140   500   5      (victim)
+//	5    E     600   600   1      (new regime)
+func fixture() *Collector {
+	c := NewCollector()
+	c.Add(rec('A', 100, 100, 1, 80))
+	c.Add(rec('B', 110, 200, 2, 80))
+	c.Add(rec('C', 120, 300, 3, 80))
+	c.Add(rec('A', 130, 400, 4, 80))
+	c.Add(rec('D', 140, 500, 5, 80))
+	c.Add(rec('E', 600, 600, 1, 80))
+	return c
+}
+
+func TestCountsInInterval(t *testing.T) {
+	c := fixture()
+	counts := c.CountsInInterval(200, 500)
+	// Dequeues at 200 (B), 300 (C), 400 (A); 500 excluded.
+	if counts[fkey('B')] != 1 || counts[fkey('C')] != 1 || counts[fkey('A')] != 1 || counts.Total() != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got := c.PacketsInInterval(200, 500); got != 3 {
+		t.Fatalf("PacketsInInterval = %d", got)
+	}
+}
+
+func TestDirectTruthExcludesVictim(t *testing.T) {
+	c := fixture()
+	// Victim D (idx 4): residence [140, 500); dequeues in it: B, C, A and
+	// the victim itself would be at 500 (excluded by the half-open bound).
+	truth := c.DirectTruth(4)
+	if truth[fkey('D')] != 0 {
+		t.Fatalf("victim counted in its own direct culprits: %v", truth)
+	}
+	if truth.Total() != 3 {
+		t.Fatalf("direct truth = %v, want 3 packets", truth)
+	}
+	// Victim of flow A at idx 3: the other A packet (dequeued at 100,
+	// before enqueue) is not included; interval [130, 400) holds B, C.
+	truth = c.DirectTruth(3)
+	if truth.Total() != 2 || truth[fkey('A')] != 0 {
+		t.Fatalf("direct truth idx3 = %v", truth)
+	}
+}
+
+func TestRegimeStart(t *testing.T) {
+	c := fixture()
+	if got := c.RegimeStart(4); got != 100 {
+		t.Fatalf("regime start = %d, want 100 (A's arrival)", got)
+	}
+	// The post-drain packet E starts its own regime.
+	if got := c.RegimeStart(5); got != 600 {
+		t.Fatalf("regime start for E = %d, want 600", got)
+	}
+}
+
+func TestIndirectTruth(t *testing.T) {
+	c := fixture()
+	// Victim D: regime [100, enq 140); dequeues in it: A at 100.
+	truth := c.IndirectTruth(4)
+	if truth.Total() != 1 || truth[fkey('A')] != 1 {
+		t.Fatalf("indirect truth = %v", truth)
+	}
+}
+
+func TestOriginalTruth(t *testing.T) {
+	c := fixture()
+	// At D's enqueue the staircase is A(1), B(2), C(3), A(4), D(5): no
+	// drains happened, so all five are original culprits.
+	truth := c.OriginalTruth(4)
+	if truth.Total() != 5 || truth[fkey('A')] != 2 {
+		t.Fatalf("original truth = %v", truth)
+	}
+}
+
+func TestOriginalTruthWithDrain(t *testing.T) {
+	c := NewCollector()
+	c.Add(rec('A', 100, 100, 2, 160)) // 2 cells: raises 0->2
+	c.Add(rec('B', 110, 260, 5, 240)) // 3 cells: raises 2->5
+	c.Add(rec('C', 400, 500, 3, 240)) // queue drained to 0; C raises 0->3
+	truth := c.OriginalTruth(2)
+	// B's levels drained away; A's too (C saw depth 3 with its own 3
+	// cells, so the queue was empty before it).
+	if truth.Total() != 1 || truth[fkey('C')] != 1 {
+		t.Fatalf("original truth = %v, want only C", truth)
+	}
+}
+
+func TestFindByDeq(t *testing.T) {
+	c := fixture()
+	if i, ok := c.FindByDeq(300, fkey('C')); !ok || i != 2 {
+		t.Fatalf("FindByDeq = %d, %v", i, ok)
+	}
+	if _, ok := c.FindByDeq(300, fkey('A')); ok {
+		t.Fatal("found wrong flow")
+	}
+	if _, ok := c.FindByDeq(301, fkey('C')); ok {
+		t.Fatal("found at wrong time")
+	}
+}
+
+func TestSampleVictims(t *testing.T) {
+	c := fixture()
+	all := c.SampleVictims(DepthBucket(3, 0), 0)
+	if len(all) != 3 { // depths 3, 4, 5
+		t.Fatalf("victims = %v", all)
+	}
+	bounded := c.SampleVictims(DepthBucket(3, 5), 0)
+	if len(bounded) != 2 {
+		t.Fatalf("bounded victims = %v", bounded)
+	}
+	sampled := c.SampleVictims(DepthBucket(1, 0), 2)
+	if len(sampled) != 2 {
+		t.Fatalf("sampled = %v", sampled)
+	}
+	byFlow := c.SampleVictims(FlowIs(fkey('A')), 0)
+	if len(byFlow) != 2 {
+		t.Fatalf("flow victims = %v", byFlow)
+	}
+}
+
+func TestMaxDepthAndTimeSpan(t *testing.T) {
+	c := fixture()
+	if got := c.MaxDepth(); got != 5 {
+		t.Fatalf("MaxDepth = %d", got)
+	}
+	start, end, err := c.TimeSpan()
+	if err != nil || start != 100 || end != 600 {
+		t.Fatalf("TimeSpan = %d, %d, %v", start, end, err)
+	}
+	if _, _, err := NewCollector().TimeSpan(); err == nil {
+		t.Fatal("empty collector TimeSpan succeeded")
+	}
+}
+
+func TestOnDequeueHook(t *testing.T) {
+	c := NewCollector()
+	p := &pktrec.Packet{
+		Flow:  fkey('Z'),
+		Bytes: 100,
+		Port:  2,
+		Meta:  pktrec.Metadata{EnqTimestamp: 50, DeqTimedelta: 25, EnqQdepth: 7},
+	}
+	c.OnDequeue(p)
+	if c.Len() != 1 {
+		t.Fatal("record not stored")
+	}
+	r := c.Record(0)
+	if r.Flow != fkey('Z') || r.DeqTimestamp() != 75 || r.EnqQdepth != 7 {
+		t.Fatalf("record = %+v", r)
+	}
+}

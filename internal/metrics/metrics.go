@@ -1,0 +1,160 @@
+// Package metrics implements the paper's evaluation arithmetic: per-query
+// precision and recall over per-flow packet counts (true positives are the
+// per-flow minimum of estimate and truth), top-K variants, CDFs, and small
+// summary helpers used by the experiment drivers.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"printqueue/internal/flow"
+)
+
+// PrecisionRecall computes the paper's §7.1 accuracy metric. For every flow
+// in the query period the true positives are min(estimate, truth); precision
+// is the TP sum over the cumulative estimate, recall the TP sum over the
+// cumulative truth. Both are 1 exactly when the estimate equals the truth.
+//
+// Empty-denominator conventions: an empty truth with an empty estimate is a
+// perfect answer (1, 1); an empty truth with a non-empty estimate has
+// precision 0 and recall 1; the mirror case has precision 1 and recall 0.
+func PrecisionRecall(estimate, truth flow.Counts) (precision, recall float64) {
+	var tp float64
+	for f, e := range estimate {
+		if t, ok := truth[f]; ok {
+			tp += math.Min(e, t)
+		}
+	}
+	est := estimate.Total()
+	tru := truth.Total()
+	switch {
+	case est == 0 && tru == 0:
+		return 1, 1
+	case est == 0:
+		return 1, 0
+	case tru == 0:
+		return 0, 1
+	}
+	return tp / est, tp / tru
+}
+
+// TopK restricts c to its k largest flows.
+func TopK(c flow.Counts, k int) flow.Counts {
+	out := make(flow.Counts, k)
+	for _, e := range c.TopK(k) {
+		out[e.Flow] = e.Count
+	}
+	return out
+}
+
+// TopKPrecisionRecall evaluates the estimate's top-K flows against the
+// truth's top-K flows — the Figure-12 metric. Precision sums TP over the
+// estimate's top-K mass; recall sums TP over the truth's top-K mass.
+func TopKPrecisionRecall(estimate, truth flow.Counts, k int) (precision, recall float64) {
+	estK := TopK(estimate, k)
+	truK := TopK(truth, k)
+	var tpEst, tpTru float64
+	for f, e := range estK {
+		if t, ok := truth[f]; ok {
+			tpEst += math.Min(e, t)
+		}
+	}
+	for f, t := range truK {
+		if e, ok := estimate[f]; ok {
+			tpTru += math.Min(e, t)
+		}
+	}
+	est := estK.Total()
+	tru := truK.Total()
+	switch {
+	case est == 0 && tru == 0:
+		return 1, 1
+	case est == 0:
+		return 1, 0
+	case tru == 0:
+		return 0, 1
+	}
+	return tpEst / est, tpTru / tru
+}
+
+// Sample accumulates scalar observations and reports order statistics.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var t float64
+	for _, v := range s.vals {
+		t += v
+	}
+	return t / float64(len(s.vals))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) by linear interpolation;
+// 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sort()
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	pos := q * float64(len(s.vals)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.vals) {
+		return s.vals[lo]
+	}
+	return s.vals[lo]*(1-frac) + s.vals[lo+1]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// CDF returns the empirical CDF evaluated at the given thresholds:
+// fraction of observations <= each threshold.
+func (s *Sample) CDF(thresholds []float64) []float64 {
+	s.sort()
+	out := make([]float64, len(thresholds))
+	if len(s.vals) == 0 {
+		return out
+	}
+	for i, th := range thresholds {
+		n := sort.SearchFloat64s(s.vals, math.Nextafter(th, math.Inf(1)))
+		out[i] = float64(n) / float64(len(s.vals))
+	}
+	return out
+}
+
+// Values returns the sorted observations (aliased; callers must not
+// modify).
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.vals
+}

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"printqueue/internal/flow"
+)
+
+func k(n byte) flow.Key {
+	return flow.Key{SrcIP: [4]byte{10, 0, 0, n}, DstIP: [4]byte{10, 0, 1, 1}, SrcPort: 1, DstPort: 2, Proto: flow.ProtoTCP}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	tests := []struct {
+		name       string
+		est, truth flow.Counts
+		p, r       float64
+	}{
+		{"exact", flow.Counts{k(1): 5, k(2): 3}, flow.Counts{k(1): 5, k(2): 3}, 1, 1},
+		{"overestimate", flow.Counts{k(1): 10}, flow.Counts{k(1): 5}, 0.5, 1},
+		{"underestimate", flow.Counts{k(1): 5}, flow.Counts{k(1): 10}, 1, 0.5},
+		{"wrong flow", flow.Counts{k(2): 5}, flow.Counts{k(1): 5}, 0, 0},
+		{"mixed", flow.Counts{k(1): 4, k(2): 4}, flow.Counts{k(1): 8}, 0.5, 0.5},
+		{"both empty", flow.Counts{}, flow.Counts{}, 1, 1},
+		{"empty estimate", flow.Counts{}, flow.Counts{k(1): 5}, 1, 0},
+		{"empty truth", flow.Counts{k(1): 5}, flow.Counts{}, 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p, r := PrecisionRecall(tt.est, tt.truth)
+			if math.Abs(p-tt.p) > 1e-12 || math.Abs(r-tt.r) > 1e-12 {
+				t.Fatalf("got %v/%v, want %v/%v", p, r, tt.p, tt.r)
+			}
+		})
+	}
+}
+
+// TestPrecisionRecallBounds property-checks 0 <= p, r <= 1 and the
+// perfect-answer characterization.
+func TestPrecisionRecallBounds(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		est := flow.Counts{k(1): float64(a), k(2): float64(b)}
+		truth := flow.Counts{k(1): float64(c), k(3): float64(d)}
+		p, r := PrecisionRecall(est, truth)
+		return p >= 0 && p <= 1 && r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKPrecisionRecall(t *testing.T) {
+	est := flow.Counts{k(1): 100, k(2): 50, k(3): 1}
+	truth := flow.Counts{k(1): 100, k(2): 50, k(4): 200}
+	p, r := TopKPrecisionRecall(est, truth, 2)
+	// Estimate's top-2 = {1:100, 2:50}, all correct -> precision 1.
+	if p != 1 {
+		t.Fatalf("precision = %v, want 1", p)
+	}
+	// Truth's top-2 = {4:200, 1:100}; found 100 of 300 -> recall 1/3.
+	if math.Abs(r-1.0/3) > 1e-12 {
+		t.Fatalf("recall = %v, want 1/3", r)
+	}
+	// K = 0 means all flows.
+	pAll, _ := TopKPrecisionRecall(est, truth, 0)
+	if pAll >= 1 {
+		t.Fatalf("all-flows precision = %v, want < 1 (flow 3 is wrong)", pAll)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Median() != 0 || s.N() != 0 {
+		t.Fatal("empty sample stats nonzero")
+	}
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	if s.N() != 4 || s.Mean() != 2.5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if got := s.Median(); got != 2.5 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	// Adding after sorting re-sorts.
+	s.Add(0)
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q0 after add = %v", got)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{0.1, 0.5, 0.5, 0.9} {
+		s.Add(v)
+	}
+	got := s.CDF([]float64{0, 0.1, 0.5, 1})
+	want := []float64{0, 0.25, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+	var empty Sample
+	for _, v := range empty.CDF([]float64{0.5}) {
+		if v != 0 {
+			t.Fatal("empty CDF nonzero")
+		}
+	}
+}
+
+func TestTopKRestrict(t *testing.T) {
+	c := flow.Counts{k(1): 5, k(2): 3, k(3): 1}
+	top := TopK(c, 2)
+	if len(top) != 2 || top[k(3)] != 0 || top[k(1)] != 5 {
+		t.Fatalf("TopK = %v", top)
+	}
+}

@@ -1,0 +1,108 @@
+package overhead
+
+import (
+	"testing"
+
+	"printqueue/internal/core/qmonitor"
+	"printqueue/internal/core/timewindow"
+)
+
+func twCfg(k uint, tt int) timewindow.Config {
+	return timewindow.Config{M0: 6, K: k, Alpha: 1, T: tt, MinPktTxDelayNs: 80}
+}
+
+func TestTimeWindowSRAMBytes(t *testing.T) {
+	// 1 port, k=12, T=4: 4 sets * 1 partition * 4 windows * 4096 cells * 8 B.
+	want := 4 * 1 * 4 * 4096 * TWCellBytes
+	if got := TimeWindowSRAMBytes(twCfg(12, 4), 1); got != want {
+		t.Fatalf("SRAM = %d, want %d", got, want)
+	}
+	// 3 ports round to 4 partitions.
+	if got := TimeWindowSRAMBytes(twCfg(12, 4), 3); got != 4*want {
+		t.Fatalf("3-port SRAM = %d, want %d", got, 4*want)
+	}
+	// Doubling k doubles the cells.
+	if got := TimeWindowSRAMBytes(twCfg(13, 4), 1); got != 2*want {
+		t.Fatalf("k=13 SRAM = %d, want %d", got, 2*want)
+	}
+}
+
+func TestQueueMonitorSRAMBytes(t *testing.T) {
+	qm := qmonitor.Config{MaxDepthCells: 1000, GranuleCells: 10} // 101 entries -> 128
+	got := QueueMonitorSRAMBytes(qm, 1, 1)
+	want := 4 * 1 * 128 * QMEntryBytes
+	if got != want {
+		t.Fatalf("QM SRAM = %d, want %d", got, want)
+	}
+	// Two queues per port double the partitions.
+	if got := QueueMonitorSRAMBytes(qm, 1, 2); got != 2*want {
+		t.Fatalf("2-queue SRAM = %d, want %d", got, 2*want)
+	}
+}
+
+func TestSRAMUtilization(t *testing.T) {
+	if got := SRAMUtilization(TotalSRAMBytes); got != 100 {
+		t.Fatalf("full budget = %v%%", got)
+	}
+	if got := SRAMUtilization(TotalSRAMBytes / 4); got != 25 {
+		t.Fatalf("quarter budget = %v%%", got)
+	}
+}
+
+func TestControlPlaneMBps(t *testing.T) {
+	tw := twCfg(12, 4)
+	qm := qmonitor.Config{MaxDepthCells: 32768, GranuleCells: 2}
+	mbps := ControlPlaneMBps(tw, qm, 1)
+	// One snapshot per set period: bytes / period.
+	bytes := float64(tw.EntriesPerSnapshot()*TWCellBytes + qm.EntriesPerSnapshot()*QMEntryBytes)
+	period := float64(tw.SetPeriod()) / 1e9
+	if want := bytes / period / 1e6; mbps != want {
+		t.Fatalf("MBps = %v, want %v", mbps, want)
+	}
+	// Higher alpha -> longer set period -> lower bandwidth.
+	tw2 := tw
+	tw2.Alpha = 2
+	if ControlPlaneMBps(tw2, qm, 1) >= mbps {
+		t.Fatal("alpha=2 did not reduce polling bandwidth")
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	qm := qmonitor.Config{MaxDepthCells: 32768, GranuleCells: 2}
+	// alpha=3 compresses aggressively: cheap polling.
+	cheap := timewindow.Config{M0: 6, K: 12, Alpha: 3, T: 4, MinPktTxDelayNs: 80}
+	if !Feasible(cheap, qm, 1) {
+		t.Fatalf("alpha=3 infeasible at %v MB/s", ControlPlaneMBps(cheap, qm, 1))
+	}
+	// A tiny k with T=2 polls very frequently: should blow the budget.
+	hot := timewindow.Config{M0: 6, K: 8, Alpha: 1, T: 2, MinPktTxDelayNs: 80}
+	if Feasible(hot, qm, 1) {
+		t.Fatalf("k=8 T=2 feasible at %v MB/s; expected over the limit", ControlPlaneMBps(hot, qm, 1))
+	}
+}
+
+func TestStageAccounting(t *testing.T) {
+	// The paper's numbers: 4 prep + 2/window; T=4 -> 12 stages, exactly a
+	// Tofino-class pipeline.
+	if got := TimeWindowStages(4); got != 12 {
+		t.Fatalf("T=4 stages = %d, want 12", got)
+	}
+	if MaxWindowsForPipeline() != 4 {
+		t.Fatalf("max windows = %d, want 4", MaxWindowsForPipeline())
+	}
+	fits := timewindow.Config{M0: 6, K: 12, Alpha: 2, T: 4, MinPktTxDelayNs: 80}
+	if !StagesFit(fits) {
+		t.Fatal("T=4 should fit the pipeline")
+	}
+	tooDeep := fits
+	tooDeep.T = 5
+	if StagesFit(tooDeep) {
+		t.Fatal("T=5 (14 stages) should not fit a 12-stage pipeline")
+	}
+	// The queue monitor alone never exceeds the budget (it overlaps).
+	shallow := fits
+	shallow.T = 1
+	if !StagesFit(shallow) {
+		t.Fatal("T=1 should fit")
+	}
+}

@@ -1,0 +1,44 @@
+package overhead
+
+import "printqueue/internal/core/timewindow"
+
+// Pipeline-stage accounting, from the paper's §7 opening: "Time windows
+// need 4 MAU stages for preparations and two additional stages for each
+// time window. The queue monitor uses six, but these can be overlapped with
+// the above." A Tofino-class ingress+egress pipeline offers on the order of
+// 12 match-action stages per direction.
+const (
+	// TWPrepStages are the fixed preparation stages (TTS computation,
+	// index/cycle split, register-set selection).
+	TWPrepStages = 4
+	// TWStagesPerWindow covers one window's read-modify-write plus the
+	// pass decision.
+	TWStagesPerWindow = 2
+	// QMStages is the queue monitor's stage cost, overlappable with the
+	// time windows' stages.
+	QMStages = 6
+	// PipelineStages is the modelled per-direction MAU budget.
+	PipelineStages = 12
+)
+
+// TimeWindowStages returns the MAU stages a T-window deployment occupies.
+func TimeWindowStages(t int) int { return TWPrepStages + TWStagesPerWindow*t }
+
+// StagesFit reports whether a configuration's egress program fits the
+// pipeline. The queue monitor overlaps with the time-window stages (the
+// paper: "these can be overlapped with the above"), so the constraint is
+// max(TW, QM) <= budget.
+func StagesFit(cfg timewindow.Config) bool {
+	tw := TimeWindowStages(cfg.T)
+	need := tw
+	if QMStages > need {
+		need = QMStages
+	}
+	return need <= PipelineStages
+}
+
+// MaxWindowsForPipeline returns the largest T that fits the stage budget —
+// the hardware reason the paper evaluates T in 2..5.
+func MaxWindowsForPipeline() int {
+	return (PipelineStages - TWPrepStages) / TWStagesPerWindow
+}

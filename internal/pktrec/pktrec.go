@@ -1,0 +1,121 @@
+// Package pktrec defines the per-packet record that flows through the
+// simulated switch, the Tofino-style intrinsic metadata PrintQueue consumes
+// (paper Table 1), and the telemetry header the paper's testbed inserts to
+// capture ground truth.
+package pktrec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"printqueue/internal/flow"
+)
+
+// CellBytes is the buffer allocation granule of the modelled traffic manager.
+// Tofino accounts buffer occupancy in 80-byte cells; the paper's
+// "queue depth (10^3)" axes are in these units.
+const CellBytes = 80
+
+// MinPacketBytes is the minimum Ethernet frame size; the paper derives
+// m0 = floor(log2(min_pkt_tx_delay)) from the transmission delay of a
+// minimum-sized (64 B) packet.
+const MinPacketBytes = 64
+
+// MTUBytes is the maximum frame size used by the WS/DM workloads.
+const MTUBytes = 1500
+
+// Cells returns the buffer cells occupied by a packet of the given size,
+// i.e. ceil(bytes/CellBytes), minimum 1.
+func Cells(bytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + CellBytes - 1) / CellBytes
+}
+
+// Packet is one packet traversing the simulated switch. Arrival carries the
+// ingress timestamp; the traffic manager fills the queueing metadata at
+// enqueue/dequeue time.
+type Packet struct {
+	Flow    flow.Key
+	Bytes   int    // wire size including headers
+	Arrival uint64 // ingress timestamp, ns
+	Port    int    // egress_spec: output port
+	Queue   int    // egress queue (priority class) within the port; 0 = highest
+
+	Meta Metadata // filled by the traffic manager
+}
+
+// Metadata mirrors the intrinsic metadata PrintQueue requires (Table 1 of
+// the paper) as provided by Tofino and BMv2.
+type Metadata struct {
+	EnqTimestamp uint64 // ns timestamp at enqueue
+	DeqTimedelta uint64 // ns spent in the queue
+	EnqQdepth    int    // queue depth in cells observed at enqueue
+	Dropped      bool   // true if the traffic manager tail-dropped the packet
+}
+
+// DeqTimestamp returns the dequeue time, computed exactly as the paper does:
+// enq_timestamp + deq_timedelta.
+func (m Metadata) DeqTimestamp() uint64 { return m.EnqTimestamp + m.DeqTimedelta }
+
+// TelemetryWireSize is the encoded size of a telemetry header.
+const TelemetryWireSize = flow.KeyWireSize + 8 + 8 + 4 + 4 + 2
+
+// Telemetry is the ground-truth header the paper's switch prepends to every
+// packet in the testbed ("this header is not required in a real PrintQueue
+// deployment — only to compute our evaluation metrics"). The receiver logs
+// these records; the scorer replays them.
+type Telemetry struct {
+	Flow         flow.Key
+	EnqTimestamp uint64
+	DeqTimedelta uint64
+	EnqQdepth    uint32
+	Port         uint16
+	Bytes        uint32
+}
+
+// FromPacket builds the telemetry record for a dequeued packet.
+func FromPacket(p *Packet) Telemetry {
+	return Telemetry{
+		Flow:         p.Flow,
+		EnqTimestamp: p.Meta.EnqTimestamp,
+		DeqTimedelta: p.Meta.DeqTimedelta,
+		EnqQdepth:    uint32(p.Meta.EnqQdepth),
+		Port:         uint16(p.Port),
+		Bytes:        uint32(p.Bytes),
+	}
+}
+
+// DeqTimestamp returns the dequeue time of the recorded packet.
+func (t Telemetry) DeqTimestamp() uint64 { return t.EnqTimestamp + t.DeqTimedelta }
+
+// AppendBinary appends the fixed-width wire encoding of t to b.
+func (t Telemetry) AppendBinary(b []byte) []byte {
+	b = t.Flow.AppendBinary(b)
+	b = binary.BigEndian.AppendUint64(b, t.EnqTimestamp)
+	b = binary.BigEndian.AppendUint64(b, t.DeqTimedelta)
+	b = binary.BigEndian.AppendUint32(b, t.EnqQdepth)
+	b = binary.BigEndian.AppendUint32(b, t.Bytes)
+	return binary.BigEndian.AppendUint16(b, t.Port)
+}
+
+// DecodeTelemetry decodes a record encoded with AppendBinary, returning the
+// record and the remaining bytes.
+func DecodeTelemetry(b []byte) (Telemetry, []byte, error) {
+	var t Telemetry
+	if len(b) < TelemetryWireSize {
+		return t, b, fmt.Errorf("pktrec: short telemetry encoding (%d bytes)", len(b))
+	}
+	var err error
+	t.Flow, b, err = flow.DecodeKey(b)
+	if err != nil {
+		return t, b, err
+	}
+	t.EnqTimestamp = binary.BigEndian.Uint64(b[0:8])
+	t.DeqTimedelta = binary.BigEndian.Uint64(b[8:16])
+	t.EnqQdepth = binary.BigEndian.Uint32(b[16:20])
+	t.Bytes = binary.BigEndian.Uint32(b[20:24])
+	t.Port = binary.BigEndian.Uint16(b[24:26])
+	return t, b[26:], nil
+}

@@ -1,0 +1,73 @@
+package pktrec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"printqueue/internal/flow"
+)
+
+func TestCells(t *testing.T) {
+	tests := []struct{ bytes, want int }{
+		{-1, 1}, {0, 1}, {1, 1}, {79, 1}, {80, 1}, {81, 2}, {160, 2}, {161, 3},
+		{1500, 19}, // MTU = 19 cells, the WS/DM granule
+		{64, 1},
+	}
+	for _, tt := range tests {
+		if got := Cells(tt.bytes); got != tt.want {
+			t.Errorf("Cells(%d) = %d, want %d", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestDeqTimestamp(t *testing.T) {
+	m := Metadata{EnqTimestamp: 100, DeqTimedelta: 250}
+	if got := m.DeqTimestamp(); got != 350 {
+		t.Fatalf("DeqTimestamp = %d, want 350", got)
+	}
+}
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, enq, delta uint64, depth, bytes uint32, port uint16) bool {
+		tel := Telemetry{
+			Flow:         flow.Key{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: flow.ProtoTCP},
+			EnqTimestamp: enq,
+			DeqTimedelta: delta,
+			EnqQdepth:    depth,
+			Bytes:        bytes,
+			Port:         port,
+		}
+		enc := tel.AppendBinary(nil)
+		if len(enc) != TelemetryWireSize {
+			return false
+		}
+		got, rest, err := DecodeTelemetry(enc)
+		return err == nil && len(rest) == 0 && got == tel
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeTelemetryShort(t *testing.T) {
+	if _, _, err := DecodeTelemetry(make([]byte, TelemetryWireSize-1)); err == nil {
+		t.Fatal("short decode succeeded")
+	}
+}
+
+func TestFromPacket(t *testing.T) {
+	p := &Packet{
+		Flow:  flow.Key{SrcPort: 9},
+		Bytes: 1500,
+		Port:  3,
+		Meta:  Metadata{EnqTimestamp: 10, DeqTimedelta: 5, EnqQdepth: 77},
+	}
+	tel := FromPacket(p)
+	if tel.Flow != p.Flow || tel.EnqTimestamp != 10 || tel.DeqTimedelta != 5 ||
+		tel.EnqQdepth != 77 || tel.Port != 3 || tel.Bytes != 1500 {
+		t.Fatalf("FromPacket = %+v", tel)
+	}
+	if tel.DeqTimestamp() != 15 {
+		t.Fatalf("DeqTimestamp = %d", tel.DeqTimestamp())
+	}
+}

@@ -1,0 +1,187 @@
+package switchsim
+
+import (
+	"container/heap"
+
+	"printqueue/internal/pktrec"
+)
+
+// discipline abstracts the packet scheduling algorithm of a port. The
+// paper's structures are explicitly scheduling-agnostic ("compatible with
+// non-FIFO queuing policies", §1; "the above algorithm may generalize to
+// other scheduling algorithms", §5), so the simulator offers the FIFO and
+// strict-priority disciplines the Tofino traffic manager has, plus deficit
+// round robin and a PIFO (push-in first-out) rank queue in the style of the
+// programmable schedulers the paper cites [20, 22, 32, 33].
+type discipline interface {
+	push(p *pktrec.Packet)
+	pop() *pktrec.Packet
+	empty() bool
+}
+
+// --- FIFO / strict priority ---
+
+// classQueues is an array of per-class FIFOs served lowest class first:
+// with one class it is a plain FIFO, with several it is strict priority.
+type classQueues struct {
+	queues []fifo
+	queued int
+}
+
+func newClassQueues(n int) *classQueues {
+	return &classQueues{queues: make([]fifo, n)}
+}
+
+func (c *classQueues) push(p *pktrec.Packet) {
+	q := p.Queue
+	if q < 0 || q >= len(c.queues) {
+		q = len(c.queues) - 1
+	}
+	c.queues[q].push(p)
+	c.queued++
+}
+
+func (c *classQueues) pop() *pktrec.Packet {
+	for i := range c.queues {
+		if !c.queues[i].empty() {
+			c.queued--
+			return c.queues[i].pop()
+		}
+	}
+	panic("switchsim: pop from empty classQueues")
+}
+
+func (c *classQueues) empty() bool { return c.queued == 0 }
+
+// --- Deficit round robin ---
+
+// drrQueues implements deficit round robin (Shreedhar & Varghese): each
+// class accumulates quantum*weight of credit per round and sends packets
+// while its deficit covers the head-of-line size, giving weighted
+// byte-level fairness across classes.
+type drrQueues struct {
+	queues   []fifo
+	weights  []int
+	deficit  []int
+	quantum  int
+	active   int  // round-robin cursor
+	credited bool // whether the cursor class received its quantum this visit
+	queued   int
+}
+
+func newDRRQueues(weights []int, quantum int) *drrQueues {
+	if quantum <= 0 {
+		quantum = pktrec.MTUBytes
+	}
+	d := &drrQueues{
+		queues:  make([]fifo, len(weights)),
+		weights: weights,
+		deficit: make([]int, len(weights)),
+		quantum: quantum,
+	}
+	return d
+}
+
+func (d *drrQueues) push(p *pktrec.Packet) {
+	q := p.Queue
+	if q < 0 || q >= len(d.queues) {
+		q = len(d.queues) - 1
+	}
+	d.queues[q].push(p)
+	d.queued++
+}
+
+func (d *drrQueues) pop() *pktrec.Packet {
+	if d.queued == 0 {
+		panic("switchsim: pop from empty drrQueues")
+	}
+	for {
+		q := &d.queues[d.active]
+		if q.empty() {
+			d.deficit[d.active] = 0 // idle classes keep no credit
+			d.moveCursor()
+			continue
+		}
+		// Credit the class exactly once per cursor visit.
+		if !d.credited {
+			d.deficit[d.active] += d.quantum * d.weights[d.active]
+			d.credited = true
+		}
+		if head := q.peek(); d.deficit[d.active] >= head.Bytes {
+			d.deficit[d.active] -= head.Bytes
+			d.queued--
+			return q.pop()
+		}
+		d.moveCursor()
+	}
+}
+
+func (d *drrQueues) moveCursor() {
+	d.active = (d.active + 1) % len(d.queues)
+	d.credited = false
+}
+
+func (d *drrQueues) empty() bool { return d.queued == 0 }
+
+// --- PIFO ---
+
+// RankFunc assigns a scheduling rank to a packet at enqueue; lower ranks
+// dequeue first. Ties dequeue in arrival order.
+type RankFunc func(p *pktrec.Packet) uint64
+
+// pifoEntry is one heap element: rank with an arrival sequence tiebreak.
+type pifoEntry struct {
+	rank uint64
+	seq  uint64
+	pkt  *pktrec.Packet
+}
+
+type pifoHeap []pifoEntry
+
+func (h pifoHeap) Len() int { return len(h) }
+func (h pifoHeap) Less(i, j int) bool {
+	if h[i].rank != h[j].rank {
+		return h[i].rank < h[j].rank
+	}
+	return h[i].seq < h[j].seq
+}
+func (h pifoHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pifoHeap) Push(x interface{}) { *h = append(*h, x.(pifoEntry)) }
+func (h *pifoHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = pifoEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// pifoQueue is a push-in first-out queue: packets enqueue with a rank and
+// dequeue smallest-rank first — the abstraction programmable schedulers
+// build richer policies from.
+type pifoQueue struct {
+	heap pifoHeap
+	rank RankFunc
+	seq  uint64
+}
+
+func newPIFOQueue(rank RankFunc) *pifoQueue {
+	if rank == nil {
+		// Default: the packet's Queue field is its priority class and
+		// arrival order breaks ties, which makes the default PIFO behave
+		// like strict priority.
+		rank = func(p *pktrec.Packet) uint64 { return uint64(p.Queue) }
+	}
+	return &pifoQueue{rank: rank}
+}
+
+func (q *pifoQueue) push(p *pktrec.Packet) {
+	q.seq++
+	heap.Push(&q.heap, pifoEntry{rank: q.rank(p), seq: q.seq, pkt: p})
+}
+
+func (q *pifoQueue) pop() *pktrec.Packet {
+	return heap.Pop(&q.heap).(pifoEntry).pkt
+}
+
+func (q *pifoQueue) empty() bool { return q.heap.Len() == 0 }

@@ -1,0 +1,190 @@
+package switchsim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"printqueue/internal/pktrec"
+)
+
+func qpkt(f byte, bytes int, arrival uint64, queue int) *pktrec.Packet {
+	p := pkt(f, bytes, arrival)
+	p.Queue = queue
+	return p
+}
+
+// TestDRRFairness: two backlogged classes with weights 3:1 must share the
+// link roughly 3:1 by bytes.
+func TestDRRFairness(t *testing.T) {
+	sw, err := NewSwitch(1, PortConfig{
+		LinkBps:   1e9,
+		Queues:    2,
+		Scheduler: DRR,
+		Weights:   []int{3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesOut := map[int]int{}
+	done := 0
+	sw.Port(0).AddEgressHook(EgressFunc(func(p *pktrec.Packet) {
+		// Only count while both classes are backlogged (before either
+		// finishes) to measure the steady-state share.
+		if done < 1200 {
+			bytesOut[p.Queue] += p.Bytes
+		}
+		done++
+	}))
+	// Saturate both classes from t=0.
+	for i := 0; i < 1000; i++ {
+		sw.Inject(qpkt(1, 1000, 1, 0))
+		sw.Inject(qpkt(2, 1000, 1, 1))
+	}
+	sw.Flush()
+	ratio := float64(bytesOut[0]) / float64(bytesOut[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("DRR share ratio %.2f, want ~3.0 (bytes %v)", ratio, bytesOut)
+	}
+}
+
+// TestDRRVariablePacketSizes: byte-level fairness must hold even when one
+// class sends small packets and the other MTUs.
+func TestDRRVariablePacketSizes(t *testing.T) {
+	sw, err := NewSwitch(1, PortConfig{
+		LinkBps:   1e9,
+		Queues:    2,
+		Scheduler: DRR,
+		Weights:   []int{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesOut := map[int]int{}
+	done := 0
+	sw.Port(0).AddEgressHook(EgressFunc(func(p *pktrec.Packet) {
+		if done < 5000 {
+			bytesOut[p.Queue] += p.Bytes
+		}
+		done++
+	}))
+	for i := 0; i < 6000; i++ {
+		sw.Inject(qpkt(1, 100, 1, 0)) // small packets
+	}
+	for i := 0; i < 400; i++ {
+		sw.Inject(qpkt(2, 1500, 1, 1)) // MTU packets
+	}
+	sw.Flush()
+	ratio := float64(bytesOut[0]) / float64(bytesOut[1])
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("byte share ratio %.2f, want ~1.0 (bytes %v)", ratio, bytesOut)
+	}
+}
+
+func TestDRRWeightsValidation(t *testing.T) {
+	if _, err := NewSwitch(1, PortConfig{LinkBps: 1e9, Queues: 2, Scheduler: DRR, Weights: []int{1}}); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	if _, err := NewSwitch(1, PortConfig{LinkBps: 1e9, Queues: 2, Scheduler: DRR, Weights: []int{1, 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	// Default weights.
+	sw, err := NewSwitch(1, PortConfig{LinkBps: 1e9, Queues: 3, Scheduler: DRR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := sw.Port(0).Config().Weights; len(w) != 3 || w[0] != 1 {
+		t.Fatalf("default weights = %v", w)
+	}
+}
+
+// TestPIFORankOrder: while the link is busy, later packets with smaller
+// ranks dequeue first; ties go in arrival order.
+func TestPIFORankOrder(t *testing.T) {
+	sw, err := NewSwitch(1, PortConfig{
+		LinkBps:   1e9,
+		Scheduler: PIFO,
+		Rank:      func(p *pktrec.Packet) uint64 { return uint64(p.Bytes) }, // SRPT-ish: shortest first
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []byte
+	sw.Port(0).AddEgressHook(EgressFunc(func(p *pktrec.Packet) {
+		order = append(order, p.Flow.SrcIP[3])
+	}))
+	sw.Inject(pkt(9, 125, 0))  // transmits immediately
+	sw.Inject(pkt(1, 500, 10)) // rank 500
+	sw.Inject(pkt(2, 100, 20)) // rank 100 -> first
+	sw.Inject(pkt(3, 100, 30)) // rank 100, later arrival -> second
+	sw.Inject(pkt(4, 300, 40)) // rank 300
+	sw.Port(0).Flush()
+	want := []byte{9, 2, 3, 4, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("PIFO order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPIFODefaultRankIsStrictPriority: without a rank function, PIFO
+// degenerates to strict priority on Packet.Queue.
+func TestPIFODefaultRankIsStrictPriority(t *testing.T) {
+	run := func(sched Scheduler) []byte {
+		cfg := PortConfig{LinkBps: 1e9, Queues: 3, Scheduler: sched}
+		sw, err := NewSwitch(1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []byte
+		sw.Port(0).AddEgressHook(EgressFunc(func(p *pktrec.Packet) {
+			order = append(order, p.Flow.SrcIP[3])
+		}))
+		rng := rand.New(rand.NewPCG(1, 1))
+		sw.Inject(qpkt(0, 125, 0, 0))
+		for i := byte(1); i <= 30; i++ {
+			sw.Inject(qpkt(i, 125, uint64(i), rng.IntN(3)))
+		}
+		sw.Port(0).Flush()
+		return order
+	}
+	pifo := run(PIFO)
+	sp := run(StrictPriority)
+	for i := range sp {
+		if pifo[i] != sp[i] {
+			t.Fatalf("PIFO default diverges from strict priority at %d: %v vs %v", i, pifo, sp)
+		}
+	}
+}
+
+// TestDisciplinesPreserveMetadata: every discipline stamps coherent
+// enq/deq metadata (deq >= enq, monotone deq).
+func TestDisciplinesPreserveMetadata(t *testing.T) {
+	for _, sched := range []Scheduler{FIFO, StrictPriority, DRR, PIFO} {
+		sw, err := NewSwitch(1, PortConfig{LinkBps: 10e9, Queues: 2, Scheduler: sched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev uint64
+		bad := false
+		sw.Port(0).AddEgressHook(EgressFunc(func(p *pktrec.Packet) {
+			d := p.Meta.DeqTimestamp()
+			if d < prev || d < p.Meta.EnqTimestamp {
+				bad = true
+			}
+			prev = d
+		}))
+		rng := rand.New(rand.NewPCG(uint64(sched), 7))
+		var ts uint64
+		for i := 0; i < 5000; i++ {
+			ts += uint64(rng.IntN(100))
+			sw.Inject(qpkt(byte(i), 64+rng.IntN(1400), ts, rng.IntN(2)))
+		}
+		sw.Flush()
+		if bad {
+			t.Fatalf("%v: metadata incoherent", sched)
+		}
+		if got := sw.Port(0).Stats().Dequeued; got != 5000 {
+			t.Fatalf("%v: dequeued %d of 5000", sched, got)
+		}
+	}
+}

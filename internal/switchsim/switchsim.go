@@ -1,0 +1,391 @@
+// Package switchsim models the part of a programmable switch that PrintQueue
+// cares about: per-egress-port queues between an ingress and an egress
+// pipeline. It substitutes for the paper's Tofino testbed.
+//
+// The model is deliberately narrow but faithful where it matters. Queuing
+// delay "is almost entirely a function of the activity on each independent
+// egress port" (paper §3), so each port is simulated independently: packets
+// arrive with ingress timestamps, wait in a FIFO or strict-priority queue
+// bounded by a buffer measured in 80-byte cells, and drain at the configured
+// line rate. At enqueue the traffic manager stamps enq_timestamp and
+// enq_qdepth; at dequeue it stamps deq_timedelta and hands the packet to the
+// egress pipeline hooks — which is exactly where PrintQueue's time windows
+// and queue monitor run on hardware.
+package switchsim
+
+import (
+	"fmt"
+	"math"
+
+	"printqueue/internal/pktrec"
+)
+
+// Scheduler selects the packet scheduling discipline of a port.
+type Scheduler int
+
+const (
+	// FIFO serves packets in arrival order, ignoring Packet.Queue.
+	FIFO Scheduler = iota
+	// StrictPriority always serves the lowest-numbered non-empty queue.
+	// Queue 0 is the highest priority.
+	StrictPriority
+	// DRR serves the queues with deficit round robin: weighted byte-level
+	// fairness across classes.
+	DRR
+	// PIFO dequeues by per-packet rank (push-in first-out), the primitive
+	// the programmable schedulers the paper cites are built from. Configure
+	// the rank with PortConfig.Rank.
+	PIFO
+)
+
+func (s Scheduler) String() string {
+	switch s {
+	case FIFO:
+		return "fifo"
+	case StrictPriority:
+		return "strict-priority"
+	case DRR:
+		return "drr"
+	case PIFO:
+		return "pifo"
+	default:
+		return fmt.Sprintf("scheduler(%d)", int(s))
+	}
+}
+
+// EgressHook observes packets leaving a port, with all metadata filled in.
+// PrintQueue's data-plane components attach here, as do ground-truth
+// collectors and baselines.
+type EgressHook interface {
+	// OnDequeue is called in dequeue order. The packet's Meta fields are
+	// complete; Meta.DeqTimestamp() is the current simulated time at the
+	// port. The hook must not retain p past the call.
+	OnDequeue(p *pktrec.Packet)
+}
+
+// EgressFunc adapts a function to the EgressHook interface.
+type EgressFunc func(p *pktrec.Packet)
+
+// OnDequeue implements EgressHook.
+func (f EgressFunc) OnDequeue(p *pktrec.Packet) { f(p) }
+
+// DropHook observes packets tail-dropped by the traffic manager.
+type DropHook interface {
+	OnDrop(p *pktrec.Packet)
+}
+
+// EnqueueHook observes packets accepted into a port's queue, with
+// enq_timestamp and enq_qdepth stamped. Structures that update on the
+// ingress side of the traffic manager (e.g. ConQuest's snapshots) attach
+// here.
+type EnqueueHook interface {
+	OnEnqueue(p *pktrec.Packet)
+}
+
+// EnqueueFunc adapts a function to the EnqueueHook interface.
+type EnqueueFunc func(p *pktrec.Packet)
+
+// OnEnqueue implements EnqueueHook.
+func (f EnqueueFunc) OnEnqueue(p *pktrec.Packet) { f(p) }
+
+// PortConfig configures a single egress port.
+type PortConfig struct {
+	// LinkBps is the egress line rate in bits per second. The paper's
+	// receivers sit behind 10 Gbps links.
+	LinkBps uint64
+	// BufferCells caps the queue occupancy in 80-byte cells; 0 means
+	// unlimited. Packets that would exceed the cap are tail-dropped.
+	BufferCells int
+	// Queues is the number of priority classes (>=1). Ignored under FIFO
+	// and PIFO.
+	Queues int
+	// Scheduler selects the queueing discipline.
+	Scheduler Scheduler
+	// Weights are the per-class DRR weights (optional; default all 1).
+	Weights []int
+	// Rank assigns PIFO ranks (optional; default: Packet.Queue).
+	Rank RankFunc
+}
+
+func (c *PortConfig) normalize() error {
+	if c.LinkBps == 0 {
+		return fmt.Errorf("switchsim: port link rate must be > 0")
+	}
+	if c.Queues <= 0 {
+		c.Queues = 1
+	}
+	if c.Scheduler == FIFO {
+		c.Queues = 1
+	}
+	if c.Scheduler == DRR {
+		if len(c.Weights) == 0 {
+			c.Weights = make([]int, c.Queues)
+			for i := range c.Weights {
+				c.Weights[i] = 1
+			}
+		}
+		if len(c.Weights) != c.Queues {
+			return fmt.Errorf("switchsim: %d DRR weights for %d queues", len(c.Weights), c.Queues)
+		}
+		for i, w := range c.Weights {
+			if w <= 0 {
+				return fmt.Errorf("switchsim: DRR weight %d of class %d must be positive", w, i)
+			}
+		}
+	}
+	if c.BufferCells < 0 {
+		return fmt.Errorf("switchsim: negative buffer size %d", c.BufferCells)
+	}
+	return nil
+}
+
+// newDiscipline builds the configured queueing discipline.
+func (c *PortConfig) newDiscipline() discipline {
+	switch c.Scheduler {
+	case DRR:
+		return newDRRQueues(c.Weights, pktrec.MTUBytes)
+	case PIFO:
+		return newPIFOQueue(c.Rank)
+	default:
+		return newClassQueues(c.Queues)
+	}
+}
+
+// PortStats accumulates counters for one port.
+type PortStats struct {
+	Enqueued     int
+	Dequeued     int
+	Dropped      int
+	MaxDepth     int    // max enqueue-time depth seen, cells
+	BytesOut     uint64 // bytes transmitted
+	LastActivity uint64 // latest timestamp observed
+}
+
+// Port simulates one egress port. The zero value is not usable; construct
+// ports through NewSwitch.
+type Port struct {
+	cfg  PortConfig
+	id   int
+	disc discipline
+	occupancy,
+	queued int // cells, packets currently buffered
+	// classOcc tracks per-class occupancy in cells: enq_qdepth is the
+	// depth of the packet's own queue, as on Tofino, so per-queue monitors
+	// see their queue, not the whole port.
+	classOcc []int
+
+	// linkFree is the earliest time the link can begin transmitting the
+	// next packet.
+	linkFree uint64
+	now      uint64
+
+	egress  []EgressHook
+	drops   []DropHook
+	ingress []EnqueueHook
+	stats   PortStats
+}
+
+// fifo is a growable ring of packets; a plain slice-with-head avoids
+// re-allocating on every pop.
+type fifo struct {
+	buf  []*pktrec.Packet
+	head int
+}
+
+func (q *fifo) push(p *pktrec.Packet) { q.buf = append(q.buf, p) }
+
+func (q *fifo) empty() bool { return q.head >= len(q.buf) }
+
+func (q *fifo) peek() *pktrec.Packet { return q.buf[q.head] }
+
+func (q *fifo) pop() *pktrec.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 4096 && q.head*2 > len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
+}
+
+// ID returns the port number.
+func (p *Port) ID() int { return p.id }
+
+// Config returns the port's configuration.
+func (p *Port) Config() PortConfig { return p.cfg }
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// Depth returns the current queue occupancy in cells.
+func (p *Port) Depth() int { return p.occupancy }
+
+// QueuedPackets returns the number of packets currently buffered.
+func (p *Port) QueuedPackets() int { return p.queued }
+
+// Now returns the port-local simulated time (latest event processed).
+func (p *Port) Now() uint64 { return p.now }
+
+// AddEgressHook registers h to observe dequeues, after previously added
+// hooks.
+func (p *Port) AddEgressHook(h EgressHook) { p.egress = append(p.egress, h) }
+
+// AddDropHook registers h to observe tail drops.
+func (p *Port) AddDropHook(h DropHook) { p.drops = append(p.drops, h) }
+
+// AddEnqueueHook registers h to observe accepted enqueues.
+func (p *Port) AddEnqueueHook(h EnqueueHook) { p.ingress = append(p.ingress, h) }
+
+// class clamps a packet's queue index the same way the disciplines do.
+func (p *Port) class(pkt *pktrec.Packet) int {
+	q := pkt.Queue
+	if q < 0 || q >= len(p.classOcc) {
+		q = len(p.classOcc) - 1
+	}
+	return q
+}
+
+// txDelay returns the serialization delay of a packet in ns, rounded to at
+// least 1 ns.
+func (p *Port) txDelay(bytes int) uint64 {
+	d := uint64(math.Round(float64(bytes) * 8 * 1e9 / float64(p.cfg.LinkBps)))
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// advance drains every packet whose transmission can start at or before now.
+func (p *Port) advance(now uint64) {
+	for p.queued > 0 && p.linkFree <= now {
+		pkt := p.disc.pop()
+		p.queued--
+		p.occupancy -= pktrec.Cells(pkt.Bytes)
+		p.classOcc[p.class(pkt)] -= pktrec.Cells(pkt.Bytes)
+		pkt.Meta.DeqTimedelta = p.linkFree - pkt.Meta.EnqTimestamp
+		p.linkFree += p.txDelay(pkt.Bytes)
+		p.stats.Dequeued++
+		p.stats.BytesOut += uint64(pkt.Bytes)
+		for _, h := range p.egress {
+			h.OnDequeue(pkt)
+		}
+	}
+	if now > p.now {
+		p.now = now
+	}
+}
+
+// Enqueue delivers a packet to the port at pkt.Arrival. Arrivals at a port
+// must be fed in non-decreasing timestamp order. The traffic manager stamps
+// enqueue metadata (or drops the packet), then drains anything eligible.
+func (p *Port) Enqueue(pkt *pktrec.Packet) {
+	if pkt.Arrival < p.now {
+		panic(fmt.Sprintf("switchsim: port %d arrival %d before current time %d", p.id, pkt.Arrival, p.now))
+	}
+	p.advance(pkt.Arrival)
+	cells := pktrec.Cells(pkt.Bytes)
+	if p.cfg.BufferCells > 0 && p.occupancy+cells > p.cfg.BufferCells {
+		pkt.Meta.Dropped = true
+		p.stats.Dropped++
+		for _, h := range p.drops {
+			h.OnDrop(pkt)
+		}
+		return
+	}
+	if p.queued == 0 && p.linkFree < pkt.Arrival {
+		// Link was idle: this packet can start transmitting on arrival.
+		p.linkFree = pkt.Arrival
+	}
+	p.occupancy += cells
+	p.queued++
+	cls := p.class(pkt)
+	p.classOcc[cls] += cells
+	// enq_qdepth is the level the packet brought its queue to (the l2 of
+	// the paper's queue monitor, Figure 7: "packet B brings the queue from
+	// a depth of 2 to 5 units") — per class, as on Tofino; with a single
+	// queue this is the port occupancy.
+	pkt.Meta.EnqTimestamp = pkt.Arrival
+	pkt.Meta.EnqQdepth = p.classOcc[cls]
+	if p.occupancy > p.stats.MaxDepth {
+		p.stats.MaxDepth = p.occupancy
+	}
+	p.stats.Enqueued++
+	p.disc.push(pkt)
+	for _, h := range p.ingress {
+		h.OnEnqueue(pkt)
+	}
+	// The head packet might be this one if the link is free.
+	p.advance(pkt.Arrival)
+}
+
+// AdvanceTo processes the passage of time without a new arrival: every
+// packet whose transmission can start at or before t is dequeued. Closed-
+// loop drivers (tcpsim) use it so ACK clocks keep ticking between
+// arrivals. Times before the port's current clock are ignored.
+func (p *Port) AdvanceTo(t uint64) {
+	if t > p.now {
+		p.advance(t)
+	}
+}
+
+// Flush drains every buffered packet regardless of time, advancing the clock
+// to the final transmission.
+func (p *Port) Flush() {
+	p.advance(math.MaxUint64)
+	p.now = p.linkFree
+}
+
+// Switch is a set of independently simulated egress ports.
+type Switch struct {
+	ports []*Port
+}
+
+// NewSwitch builds a switch with n identical ports. n must be >= 1.
+func NewSwitch(n int, cfg PortConfig) (*Switch, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("switchsim: need at least one port, got %d", n)
+	}
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	s := &Switch{ports: make([]*Port, n)}
+	for i := range s.ports {
+		s.ports[i] = &Port{
+			cfg:      cfg,
+			id:       i,
+			disc:     cfg.newDiscipline(),
+			classOcc: make([]int, cfg.Queues),
+		}
+	}
+	return s, nil
+}
+
+// Ports returns the number of ports.
+func (s *Switch) Ports() int { return len(s.ports) }
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// Inject routes a packet to its egress port (pkt.Port). Arrivals must be
+// non-decreasing per port.
+func (s *Switch) Inject(pkt *pktrec.Packet) {
+	if pkt.Port < 0 || pkt.Port >= len(s.ports) {
+		panic(fmt.Sprintf("switchsim: packet for unknown port %d", pkt.Port))
+	}
+	s.ports[pkt.Port].Enqueue(pkt)
+}
+
+// Flush drains every port.
+func (s *Switch) Flush() {
+	for _, p := range s.ports {
+		p.Flush()
+	}
+}

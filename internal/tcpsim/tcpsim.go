@@ -1,0 +1,378 @@
+// Package tcpsim adds closed-loop senders to the switch simulator: TCP
+// Reno-style sources whose congestion windows react to ACKs and drops at
+// the simulated egress port. The paper's testbed workloads are sent by real
+// TCP stacks ("one server send[s] a background TCP flow limited to ~90% of
+// the link capacity"); this package closes that loop so scenarios exhibit
+// genuine congestion-control dynamics — slow start, AIMD sawtooth, standing
+// queues — instead of open-loop pacing.
+//
+// The model is deliberately compact: window-based ACK clocking with slow
+// start, congestion avoidance, and multiplicative decrease on loss. ACKs
+// return one propagation RTT after a data packet is dequeued; reverse-path
+// queueing is ignored (the paper's reverse path is uncongested). An
+// optional rate cap models application-limited senders.
+package tcpsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/switchsim"
+)
+
+// SenderConfig parameterizes one TCP sender.
+type SenderConfig struct {
+	// Flow is the sender's 5-tuple.
+	Flow flow.Key
+	// PacketBytes is the segment wire size (default MTU).
+	PacketBytes int
+	// RTTNs is the propagation round-trip time excluding queueing.
+	RTTNs uint64
+	// StartNs is when the flow begins.
+	StartNs uint64
+	// Packets bounds the flow (0 = unlimited until the driver stops).
+	Packets int
+	// InitialCwnd is the starting window in packets (default 10).
+	InitialCwnd int
+	// MaxCwndPackets caps the window (0 = receiver window of 4096).
+	MaxCwndPackets int
+	// SSThresh is the initial slow-start threshold in packets (default 64).
+	SSThresh int
+	// MaxRateBps, if > 0, paces the sender: it models an
+	// application-limited source (the paper's "limited to ~90% of the link
+	// capacity" background).
+	MaxRateBps float64
+	// Queue is the priority class of the sender's packets.
+	Queue int
+}
+
+func (c *SenderConfig) normalize() error {
+	if c.Flow.IsZero() {
+		return fmt.Errorf("tcpsim: sender needs a flow")
+	}
+	if c.RTTNs == 0 {
+		return fmt.Errorf("tcpsim: sender needs a propagation RTT")
+	}
+	if c.PacketBytes <= 0 {
+		c.PacketBytes = pktrec.MTUBytes
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = 10
+	}
+	if c.MaxCwndPackets <= 0 {
+		c.MaxCwndPackets = 4096
+	}
+	if c.SSThresh <= 0 {
+		c.SSThresh = 64
+	}
+	return nil
+}
+
+// SenderStats reports a sender's progress.
+type SenderStats struct {
+	Sent        int
+	Acked       int
+	Lost        int
+	Cwnd        float64
+	SSThresh    float64
+	LastSendNs  uint64
+	Retransmits int
+}
+
+// sender is the per-flow congestion-control state.
+type sender struct {
+	cfg      SenderConfig
+	cwnd     float64
+	ssthresh float64
+	inflight int
+	sent     int // packets handed to the switch, including retransmissions
+	acked    int
+	lost     int
+	retx     int // packets queued for retransmission
+	retx0    int // retransmissions already sent
+	nextSend uint64
+	// sendScheduled dedupes pacing wakeups: at most one pending evSend.
+	sendScheduled bool
+	done          bool
+}
+
+// remaining reports whether the sender still has data.
+func (s *sender) remaining() bool {
+	if s.retx > 0 {
+		return true
+	}
+	if s.cfg.Packets == 0 {
+		return true
+	}
+	// Original (non-retransmitted) packets sent so far.
+	return s.sent-s.retx0 < s.cfg.Packets
+}
+
+// event is one scheduled simulation event.
+type event struct {
+	at   uint64
+	kind eventKind
+	snd  *sender
+	pkt  *pktrec.Packet // for schedule events
+	seq  int            // heap tiebreak: insertion order
+}
+
+type eventKind int
+
+const (
+	evSend   eventKind = iota // sender attempts transmissions
+	evAck                     // one ACK arrives at the sender
+	evInject                  // open-loop scheduled packet
+)
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Driver couples senders and open-loop schedules to one egress port and
+// runs the event loop.
+type Driver struct {
+	sw      *switchsim.Switch
+	port    int
+	events  eventHeap
+	seq     int
+	senders map[flow.Key]*sender
+	now     uint64
+}
+
+// NewDriver builds a driver for one port of a switch. It installs the
+// egress and drop hooks that close the loop; install application hooks
+// (PrintQueue, logs) before or after — order does not matter for them.
+func NewDriver(sw *switchsim.Switch, port int) *Driver {
+	d := &Driver{
+		sw:      sw,
+		port:    port,
+		senders: make(map[flow.Key]*sender),
+	}
+	p := sw.Port(port)
+	p.AddEgressHook(switchsim.EgressFunc(d.onDequeue))
+	p.AddDropHook(dropFunc(d.onDrop))
+	return d
+}
+
+type dropFunc func(*pktrec.Packet)
+
+func (f dropFunc) OnDrop(p *pktrec.Packet) { f(p) }
+
+func (d *Driver) push(e *event) {
+	d.seq++
+	e.seq = d.seq
+	heap.Push(&d.events, e)
+}
+
+// AddSender registers a TCP sender.
+func (d *Driver) AddSender(cfg SenderConfig) error {
+	if err := cfg.normalize(); err != nil {
+		return err
+	}
+	if _, dup := d.senders[cfg.Flow]; dup {
+		return fmt.Errorf("tcpsim: duplicate sender flow %v", cfg.Flow)
+	}
+	s := &sender{
+		cfg:      cfg,
+		cwnd:     float64(cfg.InitialCwnd),
+		ssthresh: float64(cfg.SSThresh),
+		nextSend: cfg.StartNs,
+	}
+	d.senders[cfg.Flow] = s
+	d.push(&event{at: cfg.StartNs, kind: evSend, snd: s})
+	return nil
+}
+
+// AddSchedule merges an open-loop packet schedule (e.g. a UDP burst) into
+// the event loop. Packets must be in non-decreasing arrival order.
+func (d *Driver) AddSchedule(pkts []*pktrec.Packet) {
+	for _, p := range pkts {
+		d.push(&event{at: p.Arrival, kind: evInject, pkt: p})
+	}
+}
+
+// Stats returns a sender's state.
+func (d *Driver) Stats(f flow.Key) (SenderStats, bool) {
+	s, ok := d.senders[f]
+	if !ok {
+		return SenderStats{}, false
+	}
+	return SenderStats{
+		Sent:        s.sent,
+		Acked:       s.acked,
+		Lost:        s.lost,
+		Cwnd:        s.cwnd,
+		SSThresh:    s.ssthresh,
+		LastSendNs:  s.nextSend,
+		Retransmits: s.retx0,
+	}, true
+}
+
+// onDequeue schedules the ACK for a sender's packet one propagation RTT
+// after it leaves the queue.
+func (d *Driver) onDequeue(p *pktrec.Packet) {
+	s, ok := d.senders[p.Flow]
+	if !ok {
+		return
+	}
+	d.push(&event{at: p.Meta.DeqTimestamp() + s.cfg.RTTNs, kind: evAck, snd: s})
+}
+
+// onDrop applies multiplicative decrease and queues a retransmission.
+func (d *Driver) onDrop(p *pktrec.Packet) {
+	s, ok := d.senders[p.Flow]
+	if !ok {
+		return
+	}
+	s.inflight--
+	s.lost++
+	s.retx++
+	// Loss reaction (detected via dupACKs in real TCP; immediate here):
+	// halve the window, at least to 2 packets.
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = s.ssthresh
+}
+
+// Run processes events until the queue drains or simulated time passes
+// until. It returns the time of the last processed event.
+func (d *Driver) Run(until uint64) uint64 {
+	port := d.sw.Port(d.port)
+	for {
+		if d.events.Len() == 0 {
+			// Nothing scheduled, but queued packets may still be
+			// draining; their dequeues produce ACKs that revive the loop.
+			if port.QueuedPackets() == 0 {
+				return d.now
+			}
+			port.Flush()
+			if d.events.Len() == 0 {
+				return d.now
+			}
+			continue
+		}
+		// Let the port's clock catch up to the next event first: dequeues
+		// due before it may schedule earlier ACKs.
+		next := d.events[0].at
+		if next > until {
+			return d.now
+		}
+		port.AdvanceTo(next)
+		if d.events[0].at < next {
+			continue // an earlier event appeared
+		}
+		e := heap.Pop(&d.events).(*event)
+		if e.at > d.now {
+			d.now = e.at
+		}
+		switch e.kind {
+		case evInject:
+			d.inject(e.pkt, e.at)
+		case evAck:
+			s := e.snd
+			s.inflight--
+			s.acked++
+			if s.cwnd < s.ssthresh {
+				s.cwnd++ // slow start
+			} else {
+				s.cwnd += 1 / s.cwnd // congestion avoidance
+			}
+			if max := float64(s.cfg.MaxCwndPackets); s.cwnd > max {
+				s.cwnd = max
+			}
+			d.trySend(s, e.at)
+		case evSend:
+			e.snd.sendScheduled = false
+			d.trySend(e.snd, e.at)
+		}
+	}
+}
+
+// inject delivers a packet to the port, clamping arrival to the port's
+// current time (events at equal timestamps may interleave with dequeues).
+func (d *Driver) inject(p *pktrec.Packet, at uint64) {
+	if at > p.Arrival {
+		p.Arrival = at
+	}
+	if now := d.sw.Port(d.port).Now(); p.Arrival < now {
+		p.Arrival = now
+	}
+	p.Port = d.port
+	d.sw.Inject(p)
+}
+
+// trySend transmits as the window and pacing allow, rescheduling itself
+// when pacing limits.
+func (d *Driver) trySend(s *sender, now uint64) {
+	if s.done {
+		return
+	}
+	if now > s.nextSend {
+		s.nextSend = now
+	}
+	for s.inflight < int(s.cwnd) && s.remaining() {
+		if s.cfg.MaxRateBps > 0 && s.nextSend > now {
+			// Pacing gate: come back when the next credit accrues. A
+			// single pending wakeup suffices.
+			if !s.sendScheduled {
+				s.sendScheduled = true
+				d.push(&event{at: s.nextSend, kind: evSend, snd: s})
+			}
+			return
+		}
+		if s.retx > 0 {
+			s.retx--
+			s.retx0++
+		}
+		pkt := &pktrec.Packet{
+			Flow:    s.cfg.Flow,
+			Bytes:   s.cfg.PacketBytes,
+			Arrival: s.nextSend,
+			Queue:   s.cfg.Queue,
+		}
+		// Account the transmission before injecting: a tail drop fires the
+		// drop hook synchronously inside Inject, which decrements inflight.
+		s.sent++
+		s.inflight++
+		before := s.inflight
+		d.inject(pkt, s.nextSend)
+		if s.cfg.MaxRateBps > 0 {
+			gap := uint64(float64(s.cfg.PacketBytes) * 8 * 1e9 / s.cfg.MaxRateBps)
+			s.nextSend += gap
+		}
+		if s.inflight < before {
+			// The send was tail-dropped: the buffer is full. Retrying
+			// immediately would spin; back off one RTT (a crude RTO) and
+			// let the queue drain.
+			if !s.sendScheduled {
+				s.sendScheduled = true
+				d.push(&event{at: now + s.cfg.RTTNs, kind: evSend, snd: s})
+			}
+			return
+		}
+	}
+	if s.cfg.Packets > 0 && !s.remaining() && s.inflight == 0 {
+		s.done = true
+	}
+}

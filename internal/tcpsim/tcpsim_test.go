@@ -1,0 +1,228 @@
+package tcpsim
+
+import (
+	"testing"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/switchsim"
+)
+
+func fkey(n byte) flow.Key {
+	return flow.Key{SrcIP: [4]byte{10, 9, 0, n}, DstIP: [4]byte{10, 9, 1, 1}, SrcPort: uint16(n), DstPort: 5001, Proto: flow.ProtoTCP}
+}
+
+func newPort(t *testing.T, linkBps uint64, bufferCells int) (*switchsim.Switch, *Driver) {
+	t.Helper()
+	sw, err := switchsim.NewSwitch(1, switchsim.PortConfig{LinkBps: linkBps, BufferCells: bufferCells})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw, NewDriver(sw, 0)
+}
+
+func TestSenderValidation(t *testing.T) {
+	_, d := newPort(t, 1e9, 0)
+	if err := d.AddSender(SenderConfig{RTTNs: 1000}); err == nil {
+		t.Error("zero flow accepted")
+	}
+	if err := d.AddSender(SenderConfig{Flow: fkey(1)}); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	if err := d.AddSender(SenderConfig{Flow: fkey(1), RTTNs: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSender(SenderConfig{Flow: fkey(1), RTTNs: 1000}); err == nil {
+		t.Error("duplicate sender accepted")
+	}
+}
+
+// TestSlowStartDoubles: with ample capacity, the window doubles per RTT.
+func TestSlowStartDoubles(t *testing.T) {
+	_, d := newPort(t, 100e9, 0) // effectively no queueing
+	cfg := SenderConfig{
+		Flow: fkey(1), RTTNs: 100000, InitialCwnd: 2, SSThresh: 1 << 20,
+		Packets: 1 << 20,
+	}
+	if err := d.AddSender(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// After ~5 RTTs of slow start from cwnd 2, cwnd should be >= 2^5.
+	d.Run(5 * cfg.RTTNs)
+	st, _ := d.Stats(cfg.Flow)
+	if st.Cwnd < 30 {
+		t.Fatalf("cwnd after 5 RTTs of slow start = %.1f, want >= 30", st.Cwnd)
+	}
+	if st.Lost != 0 {
+		t.Fatalf("lost %d packets on an uncongested path", st.Lost)
+	}
+}
+
+// TestBoundedFlowCompletes: a finite flow delivers exactly its packets.
+func TestBoundedFlowCompletes(t *testing.T) {
+	sw, d := newPort(t, 10e9, 0)
+	delivered := 0
+	sw.Port(0).AddEgressHook(switchsim.EgressFunc(func(p *pktrec.Packet) { delivered++ }))
+	cfg := SenderConfig{Flow: fkey(1), RTTNs: 50000, Packets: 500}
+	if err := d.AddSender(cfg); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(1e9)
+	sw.Flush()
+	st, _ := d.Stats(cfg.Flow)
+	if st.Sent != 500 || delivered != 500 {
+		t.Fatalf("sent %d, delivered %d, want 500", st.Sent, delivered)
+	}
+	if st.Acked != 500 {
+		t.Fatalf("acked %d, want 500", st.Acked)
+	}
+}
+
+// TestAIMDReactsToDrops: a sender over a shallow buffer experiences loss
+// and halves its window; throughput still approaches link capacity.
+func TestAIMDReactsToDrops(t *testing.T) {
+	sw, d := newPort(t, 1e9, 400) // shallow buffer forces drops
+	var lastDeq uint64
+	var bytes float64
+	sw.Port(0).AddEgressHook(switchsim.EgressFunc(func(p *pktrec.Packet) {
+		bytes += float64(p.Bytes)
+		lastDeq = p.Meta.DeqTimestamp()
+	}))
+	cfg := SenderConfig{Flow: fkey(1), RTTNs: 200000, MaxCwndPackets: 4096}
+	if err := d.AddSender(cfg); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(50e6) // 50 ms
+	st, _ := d.Stats(cfg.Flow)
+	if st.Lost == 0 {
+		t.Fatal("no drops despite the shallow buffer")
+	}
+	if st.Cwnd > float64(cfg.MaxCwndPackets) {
+		t.Fatalf("cwnd %v above cap", st.Cwnd)
+	}
+	// Average goodput should be a large fraction of the 1 Gbps link.
+	rate := bytes * 8 / float64(lastDeq) // bits per ns = Gbps
+	if rate < 0.5 || rate > 1.01 {
+		t.Fatalf("achieved %.2f Gbps on a 1 Gbps link", rate)
+	}
+	// Multiplicative decrease happened: ssthresh well below the cap.
+	if st.SSThresh >= float64(cfg.MaxCwndPackets) {
+		t.Fatalf("ssthresh %v never reduced", st.SSThresh)
+	}
+}
+
+// TestRateCappedSender: an application-limited sender stays near its
+// configured rate and builds no standing queue.
+func TestRateCappedSender(t *testing.T) {
+	sw, d := newPort(t, 10e9, 0)
+	var bytes float64
+	var lastDeq uint64
+	maxDepth := 0
+	sw.Port(0).AddEgressHook(switchsim.EgressFunc(func(p *pktrec.Packet) {
+		bytes += float64(p.Bytes)
+		lastDeq = p.Meta.DeqTimestamp()
+		if p.Meta.EnqQdepth > maxDepth {
+			maxDepth = p.Meta.EnqQdepth
+		}
+	}))
+	cfg := SenderConfig{Flow: fkey(1), RTTNs: 100000, MaxRateBps: 3e9}
+	if err := d.AddSender(cfg); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(20e6)
+	rate := bytes * 8 / float64(lastDeq) // Gbps
+	if rate < 2.6 || rate > 3.2 {
+		t.Fatalf("app-limited sender achieved %.2f Gbps, want ~3", rate)
+	}
+	if maxDepth > 1000 {
+		t.Fatalf("app-limited sender built a %d-cell queue", maxDepth)
+	}
+}
+
+// TestTwoSendersShare: two identical TCP flows split a link roughly evenly.
+func TestTwoSendersShare(t *testing.T) {
+	sw, d := newPort(t, 1e9, 800)
+	bytes := map[flow.Key]float64{}
+	sw.Port(0).AddEgressHook(switchsim.EgressFunc(func(p *pktrec.Packet) {
+		bytes[p.Flow] += float64(p.Bytes)
+	}))
+	a := SenderConfig{Flow: fkey(1), RTTNs: 200000}
+	b := SenderConfig{Flow: fkey(2), RTTNs: 200000}
+	if err := d.AddSender(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddSender(b); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(100e6)
+	ra, rb := bytes[a.Flow], bytes[b.Flow]
+	if ra == 0 || rb == 0 {
+		t.Fatal("a sender was starved")
+	}
+	ratio := ra / rb
+	if ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("share ratio %.2f, want roughly fair", ratio)
+	}
+}
+
+// TestScheduleMerge: an open-loop burst injected mid-flow displaces the
+// TCP sender (drops or delay) and both complete coherently.
+func TestScheduleMerge(t *testing.T) {
+	sw, d := newPort(t, 1e9, 2000)
+	burst := make([]*pktrec.Packet, 0, 500)
+	bf := fkey(9)
+	for i := 0; i < 500; i++ {
+		burst = append(burst, &pktrec.Packet{
+			Flow: bf, Bytes: 1500, Arrival: 10e6 + uint64(i)*2000,
+		})
+	}
+	if err := d.AddSender(SenderConfig{Flow: fkey(1), RTTNs: 200000}); err != nil {
+		t.Fatal(err)
+	}
+	d.AddSchedule(burst)
+	d.Run(40e6)
+	st, _ := d.Stats(fkey(1))
+	if st.Lost == 0 && st.Cwnd > 3000 {
+		t.Fatal("burst had no effect on the TCP sender")
+	}
+	if got := sw.Port(0).Stats().Dequeued; got == 0 {
+		t.Fatal("nothing dequeued")
+	}
+}
+
+// TestInvariants drives random scenarios and checks the sender state
+// machine's invariants: inflight never negative, cwnd within [1, cap],
+// acked+lost never exceeds sent.
+func TestInvariants(t *testing.T) {
+	for trial := uint64(0); trial < 10; trial++ {
+		sw, d := newPort(t, 1e9+trial*1e9, 300+int(trial)*200)
+		cfgs := []SenderConfig{
+			{Flow: fkey(1), RTTNs: 100000 + trial*20000, MaxCwndPackets: 512},
+			{Flow: fkey(2), RTTNs: 150000, Packets: int(2000 + trial*500), MaxCwndPackets: 512},
+			{Flow: fkey(3), RTTNs: 80000, MaxRateBps: 4e8, MaxCwndPackets: 512},
+		}
+		for _, c := range cfgs {
+			if err := d.AddSender(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		d.Run(30e6)
+		sw.Flush()
+		for _, c := range cfgs {
+			st, ok := d.Stats(c.Flow)
+			if !ok {
+				t.Fatal("sender vanished")
+			}
+			if st.Cwnd < 1 || st.Cwnd > float64(c.MaxCwndPackets) {
+				t.Fatalf("trial %d %v: cwnd %v out of range", trial, c.Flow, st.Cwnd)
+			}
+			if st.Acked+st.Lost > st.Sent {
+				t.Fatalf("trial %d %v: acked %d + lost %d > sent %d",
+					trial, c.Flow, st.Acked, st.Lost, st.Sent)
+			}
+			if st.Sent < 0 || st.Acked < 0 || st.Lost < 0 {
+				t.Fatalf("trial %d %v: negative counters %+v", trial, c.Flow, st)
+			}
+		}
+	}
+}

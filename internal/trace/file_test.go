@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"printqueue/internal/pktrec"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	cfg := baseCfg(UW)
+	cfg.Packets = 5000
+	pkts, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, pkts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("read %d packets, wrote %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		want := *pkts[i]
+		want.Meta = pktrec.Metadata{} // metadata is not serialized
+		if *got[i] != want {
+			t.Fatalf("packet %d: got %+v, want %+v", i, *got[i], want)
+		}
+	}
+}
+
+func TestFileEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFile(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    []byte("NOPE\x00\x01\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"bad version":  []byte("PQTR\x00\x09\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"short header": []byte("PQTR\x00\x01"),
+		"truncated":    []byte("PQTR\x00\x01\x00\x00\x00\x00\x00\x00\x00\x02abc"),
+		"absurd count": append([]byte("PQTR\x00\x01"), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := ReadFile(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadFile succeeded", name)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+)
+
+// This file builds the paper's motivating scenarios as explicit packet
+// schedules: a microburst, a TCP-incast-style synchronized burst, and the
+// §7.2 case study (long-lived background traffic, a short datagram burst,
+// and a late low-rate TCP flow whose packets become the victims).
+
+// PacedFlow emits packets of one flow at a constant average rate with
+// optional exponential jitter.
+type PacedFlow struct {
+	Flow flow.Key
+	// RateBps is the flow's average sending rate on the wire.
+	RateBps float64
+	// PacketBytes is the wire size of each packet.
+	PacketBytes int
+	// StartNs is the first packet's arrival time.
+	StartNs uint64
+	// Packets is the number of packets to emit; 0 means emit until EndNs.
+	Packets int
+	// EndNs stops emission (0 = no time bound; Packets must then be set).
+	EndNs uint64
+	// JitterFrac adds +/- jitter to each gap: the gap is drawn uniformly
+	// in [gap*(1-J), gap*(1+J)]. 0 means perfectly paced.
+	JitterFrac float64
+	// Queue is the priority class stamped on the packets.
+	Queue int
+}
+
+// emit appends the flow's packets for port to out.
+func (pf PacedFlow) emit(out []*pktrec.Packet, port int, rng *rand.Rand) ([]*pktrec.Packet, error) {
+	if pf.RateBps <= 0 || pf.PacketBytes <= 0 {
+		return nil, fmt.Errorf("trace: paced flow needs positive rate and packet size")
+	}
+	if pf.Packets == 0 && pf.EndNs == 0 {
+		return nil, fmt.Errorf("trace: paced flow needs Packets or EndNs")
+	}
+	gap := float64(pf.PacketBytes) * 8 * 1e9 / pf.RateBps
+	t := float64(pf.StartNs)
+	for i := 0; pf.Packets == 0 || i < pf.Packets; i++ {
+		if pf.EndNs > 0 && uint64(t) > pf.EndNs {
+			break
+		}
+		out = append(out, &pktrec.Packet{
+			Flow:    pf.Flow,
+			Bytes:   pf.PacketBytes,
+			Arrival: uint64(t),
+			Port:    port,
+			Queue:   pf.Queue,
+		})
+		g := gap
+		if pf.JitterFrac > 0 {
+			g = gap * (1 - pf.JitterFrac + 2*pf.JitterFrac*rng.Float64())
+		}
+		if g < 1 {
+			g = 1
+		}
+		t += g
+	}
+	return out, nil
+}
+
+// Schedule merges paced flows into one arrival-ordered packet stream for a
+// port. The sort is stable so same-timestamp packets keep flow order.
+func Schedule(port int, seed uint64, flows ...PacedFlow) ([]*pktrec.Packet, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x243f6a8885a308d3))
+	var out []*pktrec.Packet
+	var err error
+	for _, pf := range flows {
+		out, err = pf.emit(out, port, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out, nil
+}
+
+// hostKey builds a deterministic 5-tuple for scenario hosts.
+func hostKey(host, dst int, port uint16, proto flow.Proto) flow.Key {
+	return flow.Key{
+		SrcIP:   [4]byte{10, 1, byte(host >> 8), byte(host)},
+		DstIP:   [4]byte{10, 2, byte(dst >> 8), byte(dst)},
+		SrcPort: 40000 + port,
+		DstPort: 5001,
+		Proto:   proto,
+	}
+}
+
+// MicroburstConfig describes a single microburst riding on light background
+// traffic — the Figure-1 congestion regime.
+type MicroburstConfig struct {
+	Port    int
+	LinkBps uint64
+	Seed    uint64
+	// BackgroundBps is the long-lived background flow's rate (below line
+	// rate so the queue stays near-empty outside the burst).
+	BackgroundBps float64
+	// BurstFlows senders each blast BurstPackets packets of BurstBytes at
+	// BurstBps starting at BurstStartNs.
+	BurstFlows   int
+	BurstPackets int
+	BurstBytes   int
+	BurstBps     float64
+	BurstStartNs uint64
+	// DurationNs is the total schedule length.
+	DurationNs uint64
+}
+
+// Microburst builds the scenario's packet schedule. It returns the packets
+// and the background flow's key (whose post-burst packets are natural
+// victims).
+func Microburst(cfg MicroburstConfig) ([]*pktrec.Packet, flow.Key, error) {
+	if cfg.LinkBps == 0 || cfg.DurationNs == 0 {
+		return nil, flow.Zero, fmt.Errorf("trace: microburst needs LinkBps and DurationNs")
+	}
+	if cfg.BackgroundBps <= 0 {
+		cfg.BackgroundBps = 0.5 * float64(cfg.LinkBps)
+	}
+	if cfg.BurstFlows <= 0 {
+		cfg.BurstFlows = 8
+	}
+	if cfg.BurstPackets <= 0 {
+		cfg.BurstPackets = 200
+	}
+	if cfg.BurstBytes <= 0 {
+		cfg.BurstBytes = pktrec.MTUBytes
+	}
+	if cfg.BurstBps <= 0 {
+		cfg.BurstBps = 2 * float64(cfg.LinkBps) / float64(cfg.BurstFlows)
+	}
+	bg := hostKey(1, 1, 1, flow.ProtoTCP)
+	flows := []PacedFlow{{
+		Flow:        bg,
+		RateBps:     cfg.BackgroundBps,
+		PacketBytes: pktrec.MTUBytes,
+		JitterFrac:  0.2,
+		EndNs:       cfg.DurationNs,
+	}}
+	for i := 0; i < cfg.BurstFlows; i++ {
+		flows = append(flows, PacedFlow{
+			Flow:        hostKey(100+i, 1, uint16(i), flow.ProtoUDP),
+			RateBps:     cfg.BurstBps,
+			PacketBytes: cfg.BurstBytes,
+			StartNs:     cfg.BurstStartNs,
+			Packets:     cfg.BurstPackets,
+			JitterFrac:  0.1,
+		})
+	}
+	pkts, err := Schedule(cfg.Port, cfg.Seed, flows...)
+	return pkts, bg, err
+}
+
+// IncastConfig describes synchronized senders converging on one port — the
+// paper's motivating example for indirect culprits ("the entire burst
+// containing a single application's traffic").
+type IncastConfig struct {
+	Port    int
+	LinkBps uint64
+	Seed    uint64
+	// Senders respond simultaneously at StartNs (+- SyncJitterNs each)
+	// with ResponseBytes each, paced at SenderBps.
+	Senders       int
+	ResponseBytes int
+	SenderBps     float64
+	StartNs       uint64
+	SyncJitterNs  uint64
+	// ProbeBps adds a low-rate foreground flow whose packets act as
+	// victims. DurationNs bounds the schedule.
+	ProbeBps   float64
+	DurationNs uint64
+}
+
+// Incast builds the scenario and returns the packets, the probe flow's key,
+// and the set of incast (application) flow keys.
+func Incast(cfg IncastConfig) ([]*pktrec.Packet, flow.Key, []flow.Key, error) {
+	if cfg.LinkBps == 0 || cfg.DurationNs == 0 {
+		return nil, flow.Zero, nil, fmt.Errorf("trace: incast needs LinkBps and DurationNs")
+	}
+	if cfg.Senders <= 0 {
+		cfg.Senders = 32
+	}
+	if cfg.ResponseBytes <= 0 {
+		cfg.ResponseBytes = 64 * 1024
+	}
+	if cfg.SenderBps <= 0 {
+		cfg.SenderBps = float64(cfg.LinkBps) / 8
+	}
+	if cfg.ProbeBps <= 0 {
+		cfg.ProbeBps = 0.02 * float64(cfg.LinkBps)
+	}
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x452821e638d01377))
+	probe := hostKey(1, 1, 1, flow.ProtoTCP)
+	flows := []PacedFlow{{
+		Flow:        probe,
+		RateBps:     cfg.ProbeBps,
+		PacketBytes: pktrec.MTUBytes,
+		JitterFrac:  0.2,
+		EndNs:       cfg.DurationNs,
+	}}
+	var app []flow.Key
+	pktsPerSender := (cfg.ResponseBytes + pktrec.MTUBytes - 1) / pktrec.MTUBytes
+	for i := 0; i < cfg.Senders; i++ {
+		k := hostKey(200+i, 1, uint16(i), flow.ProtoTCP)
+		app = append(app, k)
+		start := cfg.StartNs
+		if cfg.SyncJitterNs > 0 {
+			start += uint64(rng.Int64N(int64(cfg.SyncJitterNs)))
+		}
+		flows = append(flows, PacedFlow{
+			Flow:        k,
+			RateBps:     cfg.SenderBps,
+			PacketBytes: pktrec.MTUBytes,
+			StartNs:     start,
+			Packets:     pktsPerSender,
+			JitterFrac:  0.05,
+		})
+	}
+	pkts, err := Schedule(cfg.Port, cfg.Seed, flows...)
+	return pkts, probe, app, err
+}
+
+// CaseStudyConfig reproduces the §7.2 experiment: a long-lived TCP
+// background flow near line rate, a short high-rate UDP datagram burst that
+// fills the queue, and a later low-rate TCP flow whose first packets suffer
+// the leftover queuing.
+type CaseStudyConfig struct {
+	Port    int
+	LinkBps uint64 // paper: 10 Gbps
+	Seed    uint64
+	// BackgroundBps: paper ~9 Gbps ("limited to ~90% of link capacity").
+	BackgroundBps float64
+	// Burst: paper sends 10000 datagrams at 4 Gbps.
+	BurstPackets int
+	BurstBps     float64
+	BurstBytes   int
+	BurstStartNs uint64
+	// NewTCPBps: paper 0.5 Gbps, starting after the burst.
+	NewTCPBps     float64
+	NewTCPStartNs uint64
+	DurationNs    uint64
+}
+
+// CaseStudyFlows names the three principals of the case study.
+type CaseStudyFlows struct {
+	Background flow.Key
+	Burst      flow.Key
+	NewTCP     flow.Key
+}
+
+// DefaultCaseStudy returns the paper's §7.2 parameters, time-scaled by
+// scale (1.0 = paper scale: 10 Gbps link, 10000 datagrams, ~5 ms burst).
+func DefaultCaseStudy(scale float64) CaseStudyConfig {
+	if scale <= 0 {
+		scale = 1
+	}
+	// The paper's background is real TCP pinned near 90% of capacity whose
+	// congestion control keeps the buffer occupied for 376 ms after a 5 ms
+	// burst. With open-loop senders the same persistence needs the
+	// steady-state slack to be a sliver of line rate: 9.9 Gbps background
+	// and a 50 Mbps late flow leave ~0.05 Gbps of drain, stretching the
+	// burst's 2.4 MB of backlog over ~300 ms (~60x the burst duration).
+	return CaseStudyConfig{
+		LinkBps:       10e9,
+		Seed:          7,
+		BackgroundBps: 9.9e9,
+		BurstPackets:  int(10000 * scale),
+		BurstBps:      4e9,
+		BurstBytes:    250,
+		BurstStartNs:  uint64(10e6 * scale),
+		NewTCPBps:     0.05e9,
+		NewTCPStartNs: uint64(40e6 * scale),
+		DurationNs:    uint64(500e6 * scale),
+	}
+}
+
+// CaseStudy builds the packet schedule and returns the principal flows.
+func CaseStudy(cfg CaseStudyConfig) ([]*pktrec.Packet, CaseStudyFlows, error) {
+	if cfg.LinkBps == 0 || cfg.DurationNs == 0 {
+		return nil, CaseStudyFlows{}, fmt.Errorf("trace: case study needs LinkBps and DurationNs")
+	}
+	fs := CaseStudyFlows{
+		Background: hostKey(1, 1, 1, flow.ProtoTCP),
+		Burst:      hostKey(2, 1, 2, flow.ProtoUDP),
+		NewTCP:     hostKey(3, 1, 3, flow.ProtoTCP),
+	}
+	pkts, err := Schedule(cfg.Port, cfg.Seed,
+		PacedFlow{
+			Flow:        fs.Background,
+			RateBps:     cfg.BackgroundBps,
+			PacketBytes: pktrec.MTUBytes,
+			JitterFrac:  0.05,
+			EndNs:       cfg.DurationNs,
+		},
+		PacedFlow{
+			Flow:        fs.Burst,
+			RateBps:     cfg.BurstBps,
+			PacketBytes: cfg.BurstBytes,
+			StartNs:     cfg.BurstStartNs,
+			Packets:     cfg.BurstPackets,
+			JitterFrac:  0.02,
+		},
+		PacedFlow{
+			Flow:        fs.NewTCP,
+			RateBps:     cfg.NewTCPBps,
+			PacketBytes: pktrec.MTUBytes,
+			StartNs:     cfg.NewTCPStartNs,
+			JitterFrac:  0.05,
+			EndNs:       cfg.DurationNs,
+		},
+	)
+	return pkts, fs, err
+}

@@ -1,0 +1,187 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+)
+
+func TestPacedFlowRate(t *testing.T) {
+	k := hostKey(1, 1, 1, flow.ProtoTCP)
+	pkts, err := Schedule(0, 1, PacedFlow{
+		Flow: k, RateBps: 1e9, PacketBytes: 1250, EndNs: 10e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 Gbps with 1250 B packets = one packet per 10 us: ~1000 packets in
+	// 10 ms.
+	if len(pkts) < 990 || len(pkts) > 1010 {
+		t.Fatalf("got %d packets, want ~1000", len(pkts))
+	}
+	var bytes float64
+	for _, p := range pkts {
+		bytes += float64(p.Bytes)
+	}
+	rate := bytes * 8 / 10e-3
+	if math.Abs(rate-1e9)/1e9 > 0.02 {
+		t.Fatalf("achieved rate %v, want ~1 Gbps", rate)
+	}
+}
+
+func TestPacedFlowJitterPreservesRate(t *testing.T) {
+	k := hostKey(1, 1, 1, flow.ProtoTCP)
+	pkts, err := Schedule(0, 1, PacedFlow{
+		Flow: k, RateBps: 1e9, PacketBytes: 1250, EndNs: 10e6, JitterFrac: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 900 || len(pkts) > 1100 {
+		t.Fatalf("jittered flow emitted %d packets, want ~1000", len(pkts))
+	}
+}
+
+func TestPacedFlowValidation(t *testing.T) {
+	if _, err := Schedule(0, 1, PacedFlow{RateBps: 0, PacketBytes: 100, Packets: 1}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Schedule(0, 1, PacedFlow{RateBps: 1e9, PacketBytes: 100}); err == nil {
+		t.Error("unbounded flow accepted")
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	pkts, err := Schedule(3, 1,
+		PacedFlow{Flow: hostKey(1, 1, 1, flow.ProtoTCP), RateBps: 1e9, PacketBytes: 1250, Packets: 100},
+		PacedFlow{Flow: hostKey(2, 1, 2, flow.ProtoUDP), RateBps: 2e9, PacketBytes: 250, Packets: 300, StartNs: 5000},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 400 {
+		t.Fatalf("got %d packets", len(pkts))
+	}
+	var prev uint64
+	for i, p := range pkts {
+		if p.Arrival < prev {
+			t.Fatalf("packet %d out of order", i)
+		}
+		prev = p.Arrival
+		if p.Port != 3 {
+			t.Fatalf("packet %d on port %d", i, p.Port)
+		}
+	}
+}
+
+func TestMicroburstScenario(t *testing.T) {
+	pkts, bg, err := Microburst(MicroburstConfig{
+		LinkBps: 10e9, Seed: 1, BurstStartNs: 1e6, DurationNs: 4e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bg.IsZero() {
+		t.Fatal("no background flow returned")
+	}
+	flows := make(map[flow.Key]int)
+	var burstPkts int
+	for _, p := range pkts {
+		flows[p.Flow]++
+		if p.Flow != bg {
+			burstPkts++
+			if p.Arrival < 1e6 {
+				t.Fatal("burst packet before burst start")
+			}
+		}
+	}
+	if len(flows) != 9 { // 1 background + 8 burst senders
+		t.Fatalf("flows = %d, want 9", len(flows))
+	}
+	if burstPkts != 8*200 {
+		t.Fatalf("burst packets = %d, want 1600", burstPkts)
+	}
+	if _, _, err := Microburst(MicroburstConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestIncastScenario(t *testing.T) {
+	pkts, probe, app, err := Incast(IncastConfig{
+		LinkBps: 10e9, Seed: 1, Senders: 16, ResponseBytes: 30000,
+		StartNs: 1e6, SyncJitterNs: 10000, DurationNs: 5e6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app) != 16 {
+		t.Fatalf("app flows = %d", len(app))
+	}
+	perSender := (30000 + pktrec.MTUBytes - 1) / pktrec.MTUBytes
+	counts := make(map[flow.Key]int)
+	for _, p := range pkts {
+		counts[p.Flow]++
+	}
+	for _, f := range app {
+		if counts[f] != perSender {
+			t.Fatalf("sender %v sent %d, want %d", f, counts[f], perSender)
+		}
+	}
+	if counts[probe] == 0 {
+		t.Fatal("probe emitted nothing")
+	}
+	if _, _, _, err := Incast(IncastConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestCaseStudyScenario(t *testing.T) {
+	cfg := DefaultCaseStudy(0.1)
+	pkts, fs, err := CaseStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Background == fs.Burst || fs.Burst == fs.NewTCP {
+		t.Fatal("principal flows not distinct")
+	}
+	var burstCount int
+	var firstNew uint64
+	for _, p := range pkts {
+		switch p.Flow {
+		case fs.Burst:
+			burstCount++
+			if p.Bytes != cfg.BurstBytes {
+				t.Fatalf("burst datagram of %d bytes", p.Bytes)
+			}
+		case fs.NewTCP:
+			if firstNew == 0 {
+				firstNew = p.Arrival
+			}
+		}
+	}
+	if burstCount != cfg.BurstPackets {
+		t.Fatalf("burst packets = %d, want %d", burstCount, cfg.BurstPackets)
+	}
+	if firstNew < cfg.NewTCPStartNs {
+		t.Fatalf("new TCP started at %d, configured %d", firstNew, cfg.NewTCPStartNs)
+	}
+	if _, _, err := CaseStudy(CaseStudyConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestDefaultCaseStudyScaling(t *testing.T) {
+	full := DefaultCaseStudy(1)
+	half := DefaultCaseStudy(0.5)
+	if half.BurstPackets*2 != full.BurstPackets {
+		t.Fatal("burst packets do not scale")
+	}
+	if half.DurationNs*2 != full.DurationNs {
+		t.Fatal("duration does not scale")
+	}
+	if zero := DefaultCaseStudy(0); zero.BurstPackets != full.BurstPackets {
+		t.Fatal("scale 0 should default to 1")
+	}
+}

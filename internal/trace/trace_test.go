@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"testing"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+)
+
+func baseCfg(w Workload) Config {
+	return Config{
+		Workload: w,
+		Seed:     1,
+		LinkBps:  10e9,
+		Packets:  20000,
+		Episodic: true,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{LinkBps: 0, Packets: 10}); err == nil {
+		t.Error("zero link rate accepted")
+	}
+	if _, err := NewGenerator(Config{LinkBps: 1e9}); err == nil {
+		t.Error("unbounded trace accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Generate(baseCfg(UW))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(baseCfg(UW))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	cfg := baseCfg(UW)
+	cfg.Seed = 2
+	c, _ := Generate(cfg)
+	same := len(c) == len(a)
+	if same {
+		diff := false
+		for i := range a {
+			if *a[i] != *c[i] {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestArrivalOrderAndBounds(t *testing.T) {
+	for _, w := range []Workload{UW, WS, DM} {
+		pkts, err := Generate(baseCfg(w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkts) != 20000 {
+			t.Fatalf("%v: got %d packets, want 20000", w, len(pkts))
+		}
+		var prev uint64
+		for i, p := range pkts {
+			if p.Arrival < prev {
+				t.Fatalf("%v: packet %d goes back in time", w, i)
+			}
+			prev = p.Arrival
+			if p.Bytes < 64 || p.Bytes > pktrec.MTUBytes {
+				t.Fatalf("%v: packet %d has %d bytes", w, i, p.Bytes)
+			}
+			if p.Flow.IsZero() {
+				t.Fatalf("%v: packet %d has zero flow", w, i)
+			}
+		}
+	}
+}
+
+func TestWorkloadPacketSizes(t *testing.T) {
+	uw, _ := Generate(baseCfg(UW))
+	var sum int
+	for _, p := range uw {
+		sum += p.Bytes
+		if p.Bytes > 136 {
+			t.Fatalf("UW packet of %d bytes", p.Bytes)
+		}
+	}
+	mean := float64(sum) / float64(len(uw))
+	if mean < 90 || mean > 110 {
+		t.Fatalf("UW mean packet size %v, want ~100", mean)
+	}
+	ws, _ := Generate(baseCfg(WS))
+	full := 0
+	for _, p := range ws {
+		if p.Bytes == pktrec.MTUBytes {
+			full++
+		}
+	}
+	if float64(full)/float64(len(ws)) < 0.8 {
+		t.Fatalf("WS only %d/%d MTU packets", full, len(ws))
+	}
+}
+
+// TestUWLongTail checks the published UW characteristic the generator
+// matches: the 100th-largest flow carries <1% of the largest flow's
+// packets.
+func TestUWLongTail(t *testing.T) {
+	cfg := baseCfg(UW)
+	cfg.Packets = 300000
+	pkts, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(flow.Counts)
+	for _, p := range pkts {
+		counts.Add(p.Flow, 1)
+	}
+	top := counts.TopK(100)
+	if len(top) < 100 {
+		t.Skipf("only %d flows; trace too short for the tail check", len(top))
+	}
+	if ratio := top[99].Count / top[0].Count; ratio >= 0.01 {
+		t.Fatalf("100th/1st flow ratio = %v, want < 0.01", ratio)
+	}
+}
+
+func TestWorkloadParse(t *testing.T) {
+	for _, s := range []string{"UW", "WS", "DM"} {
+		w, err := ParseWorkload(s)
+		if err != nil || w.String() != s {
+			t.Fatalf("ParseWorkload(%q) = %v, %v", s, w, err)
+		}
+	}
+	if _, err := ParseWorkload("bogus"); err == nil {
+		t.Fatal("bogus workload parsed")
+	}
+}
+
+func TestDurationBound(t *testing.T) {
+	cfg := baseCfg(UW)
+	cfg.Packets = 0
+	cfg.DurationNs = 1e6
+	pkts, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) == 0 {
+		t.Fatal("empty trace")
+	}
+	for _, p := range pkts {
+		if p.Arrival > 1e6 {
+			t.Fatalf("packet at %d past the 1 ms bound", p.Arrival)
+		}
+	}
+}
+
+func TestSizeDistSample(t *testing.T) {
+	// The CDF inverse is monotone and stays within the support.
+	for _, d := range []sizeDist{webSearchDist, dataMiningDist} {
+		prev := 0.0
+		for u := 0.0; u <= 1.0; u += 0.01 {
+			v := d.sample(u)
+			if v < prev {
+				t.Fatalf("sample(%v) = %v < previous %v", u, v, prev)
+			}
+			prev = v
+		}
+		if max := d.bytes[len(d.bytes)-1]; d.sample(1.0) > max {
+			t.Fatalf("sample(1) = %v beyond support %v", d.sample(1.0), max)
+		}
+	}
+}
+
+// TestEpisodicTargetsSpread runs the generator against an actual simulated
+// queue and checks episodes reach both shallow and deep targets.
+func TestEpisodicTargetsSpread(t *testing.T) {
+	cfg := baseCfg(UW)
+	cfg.Packets = 150000
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track the generator's own backlog estimate peaks per episode.
+	var peaks []float64
+	var peak float64
+	prevDraining := false
+	for p := g.Next(); p != nil; p = g.Next() {
+		if g.backlogBytes > peak {
+			peak = g.backlogBytes
+		}
+		if prevDraining && !g.draining { // new episode started
+			peaks = append(peaks, peak/pktrec.CellBytes)
+			peak = 0
+		}
+		prevDraining = g.draining
+	}
+	if len(peaks) < 3 {
+		t.Skipf("only %d episodes; trace too short", len(peaks))
+	}
+	min, max := peaks[0], peaks[0]
+	for _, p := range peaks {
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max < 4*min {
+		t.Fatalf("episode peaks not spread: min %v, max %v", min, max)
+	}
+}

@@ -1,0 +1,321 @@
+package printqueue
+
+import (
+	"testing"
+	"time"
+)
+
+func testFlow(n byte) FlowID {
+	return FlowID{SrcIP: [4]byte{10, 0, 0, n}, DstIP: [4]byte{10, 0, 1, 1}, SrcPort: 100, DstPort: 80, Proto: 6}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := DefaultConfig(0)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.TimeWindows.T = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad time windows accepted")
+	}
+	bad = cfg
+	bad.QueueMonitor.GranuleCells = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("bad queue monitor accepted")
+	}
+	bad = cfg
+	bad.Ports = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no ports accepted")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if len(cfg.Ports) != 1 || cfg.Ports[0] != 0 {
+		t.Fatalf("default ports = %v", cfg.Ports)
+	}
+	cfg = DefaultConfig(2, 5)
+	if len(cfg.Ports) != 2 {
+		t.Fatalf("ports = %v", cfg.Ports)
+	}
+	// The UW set period: (2^8-1)/3 * 2^18 ns = 85 * 262144 ns ~ 22.3 ms.
+	if got := cfg.TimeWindows.SetPeriod(); got != 85*262144*time.Nanosecond {
+		t.Fatalf("set period = %v", got)
+	}
+}
+
+func TestM0For(t *testing.T) {
+	if got := M0For(80 * time.Nanosecond); got != 6 {
+		t.Fatalf("M0For(80ns) = %d", got)
+	}
+	if got := M0For(1200 * time.Nanosecond); got != 10 {
+		t.Fatalf("M0For(1200ns) = %d", got)
+	}
+}
+
+func TestFlowIDStringRoundTrip(t *testing.T) {
+	f := testFlow(9)
+	got, err := ParseFlowID(f.String())
+	if err != nil || got != f {
+		t.Fatalf("round trip: %v, %v", got, err)
+	}
+	if _, err := ParseFlowID("garbage"); err == nil {
+		t.Fatal("garbage parsed")
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	r := Report{{Flow: testFlow(1), Packets: 5}, {Flow: testFlow(2), Packets: 3}}
+	if r.Total() != 8 {
+		t.Fatalf("Total = %v", r.Total())
+	}
+	if r.Find(testFlow(2)) != 3 || r.Find(testFlow(9)) != 0 {
+		t.Fatal("Find wrong")
+	}
+	cs := []Culprit{{Flow: testFlow(1), Packets: 1}, {Flow: testFlow(2), Packets: 9}}
+	SortCulprits(cs)
+	if cs[0].Packets != 9 {
+		t.Fatalf("sort wrong: %v", cs)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	est := Report{{Flow: testFlow(1), Packets: 10}}
+	truth := Report{{Flow: testFlow(1), Packets: 5}}
+	p, r := Accuracy(est, truth)
+	if p != 0.5 || r != 1 {
+		t.Fatalf("accuracy = %v/%v", p, r)
+	}
+	p, r = Accuracy(nil, nil)
+	if p != 1 || r != 1 {
+		t.Fatalf("empty accuracy = %v/%v", p, r)
+	}
+}
+
+// TestEndToEnd drives the whole public API: switch, system, scenario,
+// queries, ground truth.
+func TestEndToEnd(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{Ports: 1, LinkBps: 10e9, BufferCells: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := New(Config{
+		TimeWindows:  TimeWindowConfig{M0: 10, K: 12, Alpha: 1, T: 4, MinPktTxDelay: 1200 * time.Nanosecond},
+		QueueMonitor: QueueMonitorConfig{MaxDepthCells: 65536, GranuleCells: 19},
+		Ports:        []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Attach(sw)
+	tlog := sw.AttachLog(0)
+
+	pkts, bg, err := Microburst(MicroburstScenario{
+		LinkBps:    10e9,
+		Seed:       1,
+		BurstStart: time.Millisecond,
+		Duration:   5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	pq.Finalize(sw.Now() + 1)
+
+	if tlog.Len() == 0 {
+		t.Fatal("no packets logged")
+	}
+	victims := tlog.VictimsOf(bg, 0)
+	if len(victims) == 0 {
+		t.Fatal("background flow never dequeued")
+	}
+	worst := victims[0]
+	for _, i := range victims {
+		if tlog.Record(i).DepthCells > tlog.Record(worst).DepthCells {
+			worst = i
+		}
+	}
+	v := tlog.Record(worst)
+	if v.DepthCells < 100 {
+		t.Fatalf("burst built no queue: %d cells", v.DepthCells)
+	}
+	rep, err := pq.QueryInterval(0, v.EnqTime, v.DeqTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, r := Accuracy(rep, tlog.DirectTruth(worst))
+	if p < 0.7 || r < 0.7 {
+		t.Fatalf("direct accuracy %v/%v too low", p, r)
+	}
+	// Indirect query and regime.
+	regime := tlog.RegimeStart(worst)
+	if regime >= v.EnqTime {
+		t.Fatalf("regime start %d not before enqueue %d", regime, v.EnqTime)
+	}
+	ind, err := pq.QueryInterval(0, regime, v.EnqTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ind.Total() == 0 {
+		t.Fatal("no indirect culprits")
+	}
+	// Original culprits exist and carry levels.
+	levels, err := pq.OriginalLevels(0, 0, v.EnqTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) == 0 {
+		t.Fatal("no original culprits")
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].Level <= levels[i-1].Level {
+			t.Fatal("original levels not increasing")
+		}
+	}
+	orig, err := pq.QueryOriginal(0, 0, v.EnqTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(orig.Total()) != len(levels) {
+		t.Fatalf("aggregate %v vs %d levels", orig.Total(), len(levels))
+	}
+	st := pq.Stats()
+	if st.PacketsObserved == 0 || st.Checkpoints == 0 || st.EntriesRead == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestObserveDirect(t *testing.T) {
+	// Feed packets without the switch: the Observe path.
+	pq, err := New(Config{
+		TimeWindows:  TimeWindowConfig{M0: 3, K: 6, Alpha: 1, T: 3, MinPktTxDelay: 10 * time.Nanosecond},
+		QueueMonitor: QueueMonitorConfig{MaxDepthCells: 1024, GranuleCells: 4},
+		Ports:        []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts uint64 = 1000
+	for i := 0; i < 50; i++ {
+		ts += 10
+		pq.Observe(Packet{Flow: testFlow(byte(i % 3)), Bytes: 100, Port: 0}, ts-40, ts, 8)
+	}
+	pq.Finalize(ts + 1)
+	rep, err := pq.QueryInterval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tot := rep.Total(); tot < 45 || tot > 55 {
+		t.Fatalf("recovered %v, want ~50", tot)
+	}
+}
+
+func TestDataPlaneQueriesPublic(t *testing.T) {
+	sw, _ := NewSwitch(SwitchConfig{Ports: 1, LinkBps: 10e9, BufferCells: 60000})
+	cfg := Config{
+		TimeWindows:           TimeWindowConfig{M0: 10, K: 12, Alpha: 1, T: 4, MinPktTxDelay: 1200 * time.Nanosecond},
+		QueueMonitor:          QueueMonitorConfig{MaxDepthCells: 65536, GranuleCells: 19},
+		Ports:                 []int{0},
+		DPTriggerDepthCells:   2000,
+		ReadRateEntriesPerSec: 50e6,
+	}
+	pq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Attach(sw)
+	pkts, _, err := Microburst(MicroburstScenario{
+		LinkBps: 10e9, Seed: 2, BurstStart: time.Millisecond, Duration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	dqs := pq.DataPlaneQueries(0)
+	if len(dqs) == 0 {
+		t.Fatal("no data-plane queries triggered")
+	}
+	dq := dqs[0]
+	if dq.DepthCells < 2000 || dq.Culprits.Total() == 0 || dq.ReadLatency == 0 {
+		t.Fatalf("dq = %+v", dq)
+	}
+	if pq.Stats().SpecialFreezes == 0 {
+		t.Fatal("no special freezes recorded")
+	}
+}
+
+func TestSwitchErrors(t *testing.T) {
+	if _, err := NewSwitch(SwitchConfig{Ports: 1}); err == nil {
+		t.Fatal("zero link rate accepted")
+	}
+	sw, err := NewSwitch(SwitchConfig{LinkBps: 1e9}) // Ports defaults to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Depth(0) != 0 {
+		t.Fatal("fresh switch not empty")
+	}
+}
+
+func TestStrictPriorityPublic(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{
+		Ports: 1, LinkBps: 1e9, QueuesPerPort: 2, Scheduler: SchedulerStrictPriority,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlog := sw.AttachLog(0)
+	sw.Inject(Packet{Flow: testFlow(0), Bytes: 125, Arrival: 0, Queue: 0})
+	sw.Inject(Packet{Flow: testFlow(1), Bytes: 125, Arrival: 10, Queue: 1})
+	sw.Inject(Packet{Flow: testFlow(2), Bytes: 125, Arrival: 20, Queue: 0})
+	sw.Flush()
+	if tlog.Record(1).Flow != testFlow(2) {
+		t.Fatalf("priority order wrong: %v", tlog.Record(1).Flow)
+	}
+}
+
+func TestGenerateTracePublic(t *testing.T) {
+	pkts, err := GenerateTrace(TraceConfig{
+		Workload: WorkloadWS, Seed: 1, LinkBps: 10e9, Packets: 5000, Episodic: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 5000 {
+		t.Fatalf("packets = %d", len(pkts))
+	}
+	if _, err := GenerateTrace(TraceConfig{Workload: WorkloadUW}); err == nil {
+		t.Fatal("unbounded trace accepted")
+	}
+}
+
+func TestIncastPublic(t *testing.T) {
+	pkts, probe, app, err := Incast(IncastScenario{
+		LinkBps: 10e9, Seed: 1, Senders: 4, ResponseBytes: 15000,
+		Start: time.Millisecond, Duration: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app) != 4 || probe == app[0] || len(pkts) == 0 {
+		t.Fatalf("incast: %d app flows, %d packets", len(app), len(pkts))
+	}
+}
+
+func TestCaseStudyPublic(t *testing.T) {
+	pkts, flows, err := CaseStudy(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) == 0 || flows.Burst == flows.Background {
+		t.Fatal("case study malformed")
+	}
+}

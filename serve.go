@@ -1,0 +1,88 @@
+package printqueue
+
+import (
+	"printqueue/internal/core/control"
+)
+
+// QueryService is a running TCP endpoint for asynchronous queries: the
+// paper's Figure-3 path where higher-layer applications send requests to
+// the analysis program on the switch CPU. The wire protocol is
+// newline-delimited JSON; see QueryClient for the matching client.
+type QueryService struct {
+	qs  *control.QueryServer
+	srv *control.NetServer
+}
+
+// Serve starts query workers plus a TCP listener on addr (use
+// "127.0.0.1:0" to pick a free port). Queries run concurrently with the
+// data plane; the per-packet path stays lock-free.
+func (s *System) Serve(addr string, workers int) (*QueryService, error) {
+	qs := control.NewQueryServer(s.inner)
+	qs.Start(workers)
+	srv, err := control.ServeQueries(addr, qs)
+	if err != nil {
+		qs.Stop()
+		return nil, err
+	}
+	return &QueryService{qs: qs, srv: srv}, nil
+}
+
+// Addr returns the listening address.
+func (q *QueryService) Addr() string { return q.srv.Addr().String() }
+
+// Close stops the listener and the query workers.
+func (q *QueryService) Close() error {
+	err := q.srv.Close()
+	q.qs.Stop()
+	return err
+}
+
+// QueryClient talks to a QueryService over TCP.
+type QueryClient struct {
+	inner *control.QueryClient
+}
+
+// DialQueries connects to a QueryService.
+func DialQueries(addr string) (*QueryClient, error) {
+	inner, err := control.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryClient{inner: inner}, nil
+}
+
+// Close closes the connection.
+func (c *QueryClient) Close() error { return c.inner.Close() }
+
+// reportFromWire converts a wire response into a Report.
+func reportFromWire(counts map[string]float64) (Report, error) {
+	out := make(Report, 0, len(counts))
+	for s, n := range counts {
+		f, err := ParseFlowID(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Culprit{Flow: f, Packets: n})
+	}
+	SortCulprits(out)
+	return out, nil
+}
+
+// Interval queries per-flow packet counts dequeued during [start, end) on a
+// port.
+func (c *QueryClient) Interval(port int, start, end uint64) (Report, error) {
+	counts, err := c.inner.Interval(port, start, end)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromWire(counts)
+}
+
+// Original queries the original causes of congestion at time t.
+func (c *QueryClient) Original(port, queue int, t uint64) (Report, error) {
+	counts, err := c.inner.Original(port, queue, t)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromWire(counts)
+}

@@ -1,0 +1,86 @@
+package printqueue
+
+import (
+	"testing"
+	"time"
+)
+
+// TestServeEndToEnd runs a simulation, serves queries over TCP, and
+// diagnoses a victim through the network client.
+func TestServeEndToEnd(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{Ports: 1, LinkBps: 10e9, BufferCells: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := New(Config{
+		TimeWindows:  TimeWindowConfig{M0: 10, K: 12, Alpha: 1, T: 4, MinPktTxDelay: 1200 * time.Nanosecond},
+		QueueMonitor: QueueMonitorConfig{MaxDepthCells: 65536, GranuleCells: 19},
+		Ports:        []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Attach(sw)
+	tlog := sw.AttachLog(0)
+	pkts, _, err := Microburst(MicroburstScenario{
+		LinkBps: 10e9, Seed: 5, BurstStart: time.Millisecond, Duration: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	pq.Finalize(sw.Now() + 1)
+
+	svc, err := pq.Serve("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	client, err := DialQueries(svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	victims := tlog.Victims(1000, 1)
+	if len(victims) == 0 {
+		t.Fatal("no victims")
+	}
+	v := tlog.Record(victims[0])
+	remote, err := client.Interval(0, v.EnqTime, v.DeqTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := pq.QueryInterval(0, v.EnqTime, v.DeqTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("remote %d flows, local %d", len(remote), len(local))
+	}
+	for i := range local {
+		if remote[i].Flow != local[i].Flow || remote[i].Packets != local[i].Packets {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, remote[i], local[i])
+		}
+	}
+	orig, err := client.Original(0, 0, v.EnqTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Total() == 0 {
+		t.Fatal("remote original query empty")
+	}
+	if _, err := client.Interval(7, 0, 1); err == nil {
+		t.Fatal("remote bad-port query succeeded")
+	}
+}
+
+func TestDialQueriesError(t *testing.T) {
+	if _, err := DialQueries("127.0.0.1:1"); err == nil {
+		t.Skip("something is listening on port 1")
+	}
+}

@@ -1,0 +1,268 @@
+package printqueue
+
+import (
+	"io"
+	"time"
+
+	"printqueue/internal/flow"
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/metrics"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/switchsim"
+)
+
+// Packet is one packet offered to the simulated switch.
+type Packet struct {
+	Flow    FlowID
+	Bytes   int    // wire size
+	Arrival uint64 // ingress timestamp, ns
+	Port    int    // egress port
+	Queue   int    // priority class (0 = highest); used by StrictPriority
+}
+
+func (p Packet) internal() *pktrec.Packet {
+	return &pktrec.Packet{
+		Flow:    p.Flow.internal(),
+		Bytes:   p.Bytes,
+		Arrival: p.Arrival,
+		Port:    p.Port,
+		Queue:   p.Queue,
+	}
+}
+
+// SchedulerKind selects a port's packet scheduling discipline.
+type SchedulerKind int
+
+const (
+	// SchedulerFIFO serves packets in arrival order.
+	SchedulerFIFO SchedulerKind = iota
+	// SchedulerStrictPriority always serves the lowest-numbered non-empty
+	// queue.
+	SchedulerStrictPriority
+	// SchedulerDRR shares the link across classes with deficit round robin
+	// (byte-level weighted fairness; see SwitchConfig.Weights).
+	SchedulerDRR
+	// SchedulerPIFO dequeues by per-packet rank (push-in first-out; see
+	// SwitchConfig.Rank) — the primitive of programmable schedulers.
+	// PrintQueue's structures are scheduling-agnostic, so diagnosis works
+	// unchanged under any of these.
+	SchedulerPIFO
+)
+
+// SwitchConfig configures the simulated switch.
+type SwitchConfig struct {
+	// Ports is the number of egress ports.
+	Ports int
+	// LinkBps is each port's line rate in bits per second.
+	LinkBps uint64
+	// BufferCells caps each port's occupancy in 80-byte cells (0 =
+	// unlimited; packets beyond the cap are tail-dropped).
+	BufferCells int
+	// QueuesPerPort is the number of priority classes (>= 1).
+	QueuesPerPort int
+	// Scheduler selects the queueing discipline.
+	Scheduler SchedulerKind
+	// Weights are per-class DRR weights (optional; default all 1).
+	Weights []int
+	// Rank assigns PIFO ranks; lower ranks dequeue first (optional;
+	// default: the packet's Queue field).
+	Rank func(p Packet) uint64
+}
+
+// Switch is a simulated multi-port switch: the substrate the PrintQueue
+// data plane attaches to, standing in for the paper's Tofino.
+type Switch struct {
+	inner *switchsim.Switch
+}
+
+// NewSwitch builds a switch.
+func NewSwitch(cfg SwitchConfig) (*Switch, error) {
+	if cfg.Ports == 0 {
+		cfg.Ports = 1
+	}
+	var sched switchsim.Scheduler
+	switch cfg.Scheduler {
+	case SchedulerStrictPriority:
+		sched = switchsim.StrictPriority
+	case SchedulerDRR:
+		sched = switchsim.DRR
+	case SchedulerPIFO:
+		sched = switchsim.PIFO
+	default:
+		sched = switchsim.FIFO
+	}
+	var rank switchsim.RankFunc
+	if cfg.Rank != nil {
+		userRank := cfg.Rank
+		rank = func(p *pktrec.Packet) uint64 {
+			return userRank(Packet{
+				Flow:    fromInternal(p.Flow),
+				Bytes:   p.Bytes,
+				Arrival: p.Arrival,
+				Port:    p.Port,
+				Queue:   p.Queue,
+			})
+		}
+	}
+	inner, err := switchsim.NewSwitch(cfg.Ports, switchsim.PortConfig{
+		LinkBps:     cfg.LinkBps,
+		BufferCells: cfg.BufferCells,
+		Queues:      cfg.QueuesPerPort,
+		Scheduler:   sched,
+		Weights:     cfg.Weights,
+		Rank:        rank,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Switch{inner: inner}, nil
+}
+
+// Inject delivers a packet to its egress port. Arrivals must be fed in
+// non-decreasing timestamp order per port.
+func (s *Switch) Inject(p Packet) { s.inner.Inject(p.internal()) }
+
+// Flush drains every port's remaining packets.
+func (s *Switch) Flush() { s.inner.Flush() }
+
+// Now returns the latest simulated time across ports.
+func (s *Switch) Now() uint64 {
+	var now uint64
+	for i := 0; i < s.inner.Ports(); i++ {
+		if t := s.inner.Port(i).Now(); t > now {
+			now = t
+		}
+	}
+	return now
+}
+
+// Depth returns a port's current occupancy in cells.
+func (s *Switch) Depth(port int) int { return s.inner.Port(port).Depth() }
+
+// PortStats summarizes one port's activity.
+type PortStats struct {
+	Enqueued, Dequeued, Dropped int
+	MaxDepthCells               int
+	BytesOut                    uint64
+}
+
+// Stats returns a port's counters.
+func (s *Switch) Stats(port int) PortStats {
+	st := s.inner.Port(port).Stats()
+	return PortStats{
+		Enqueued:      st.Enqueued,
+		Dequeued:      st.Dequeued,
+		Dropped:       st.Dropped,
+		MaxDepthCells: st.MaxDepth,
+		BytesOut:      st.BytesOut,
+	}
+}
+
+// PacketLog records, per dequeued packet, the telemetry the paper's
+// evaluation testbed captures with its inserted header: flow, enqueue and
+// dequeue times, and the queue depth at enqueue. Attach one with
+// AttachLog to obtain ground truth for victim selection and accuracy
+// scoring — a real deployment does not need it.
+type PacketLog struct {
+	inner *groundtruth.Collector
+}
+
+// AttachLog hooks a fresh PacketLog onto one port.
+func (s *Switch) AttachLog(port int) *PacketLog {
+	log := &PacketLog{inner: groundtruth.NewCollector()}
+	s.inner.Port(port).AddEgressHook(log.inner)
+	return log
+}
+
+// LoggedPacket is one telemetry record.
+type LoggedPacket struct {
+	Flow       FlowID
+	EnqTime    uint64
+	DeqTime    uint64
+	DepthCells int
+	Bytes      int
+}
+
+// WriteLog serializes the log to w in the binary telemetry format (the
+// stand-in for the paper's receiver-side capture files).
+func (l *PacketLog) WriteLog(w io.Writer) error { return l.inner.WriteLog(w) }
+
+// ReadPacketLog loads a telemetry log previously written with WriteLog.
+func ReadPacketLog(r io.Reader) (*PacketLog, error) {
+	inner, err := groundtruth.ReadLog(r)
+	if err != nil {
+		return nil, err
+	}
+	return &PacketLog{inner: inner}, nil
+}
+
+// Len returns the number of records.
+func (l *PacketLog) Len() int { return l.inner.Len() }
+
+// Record returns record i (dequeue order).
+func (l *PacketLog) Record(i int) LoggedPacket {
+	r := l.inner.Record(i)
+	return LoggedPacket{
+		Flow:       fromInternal(r.Flow),
+		EnqTime:    r.EnqTimestamp,
+		DeqTime:    r.DeqTimestamp(),
+		DepthCells: int(r.EnqQdepth),
+		Bytes:      int(r.Bytes),
+	}
+}
+
+// Victims returns the indices of packets whose enqueue-time depth is at
+// least minDepthCells, up to max entries (0 = all), evenly sampled.
+func (l *PacketLog) Victims(minDepthCells, max int) []int {
+	return l.inner.SampleVictims(groundtruth.DepthBucket(minDepthCells, 0), max)
+}
+
+// VictimsOf returns the indices of packets of one flow, up to max entries.
+func (l *PacketLog) VictimsOf(f FlowID, max int) []int {
+	return l.inner.SampleVictims(groundtruth.FlowIs(f.internal()), max)
+}
+
+// TrueCounts returns the exact per-flow packet counts dequeued during
+// [start, end) — ground truth for scoring QueryInterval estimates.
+func (l *PacketLog) TrueCounts(start, end uint64) Report {
+	return reportFromCounts(l.inner.CountsInInterval(start, end))
+}
+
+// DirectTruth returns the exact direct culprits of victim record i.
+func (l *PacketLog) DirectTruth(i int) Report {
+	return reportFromCounts(l.inner.DirectTruth(i))
+}
+
+// RegimeStart returns the beginning of the congestion regime containing
+// victim record i.
+func (l *PacketLog) RegimeStart(i int) uint64 { return l.inner.RegimeStart(i) }
+
+// IndirectTruth returns the exact indirect culprits of victim record i.
+func (l *PacketLog) IndirectTruth(i int) Report {
+	return reportFromCounts(l.inner.IndirectTruth(i))
+}
+
+// OriginalTruth returns the exact original culprits as of victim record
+// i's enqueue — the ideal the queue monitor approximates.
+func (l *PacketLog) OriginalTruth(i int) Report {
+	return reportFromCounts(l.inner.OriginalTruth(i))
+}
+
+// Accuracy scores an estimate against a truth report with the paper's
+// precision/recall metric (per-flow true positives are min(estimate,
+// truth)).
+func Accuracy(estimate, truth Report) (precision, recall float64) {
+	return metrics.PrecisionRecall(countsFromReport(estimate), countsFromReport(truth))
+}
+
+func countsFromReport(r Report) flow.Counts {
+	m := make(flow.Counts, len(r))
+	for _, c := range r {
+		m.Add(c.Flow.internal(), c.Packets)
+	}
+	return m
+}
+
+// Nanos converts a time.Duration to the uint64 nanosecond timestamps the
+// simulator uses.
+func Nanos(d time.Duration) uint64 { return uint64(d.Nanoseconds()) }

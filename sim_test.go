@@ -1,0 +1,163 @@
+package printqueue
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestPacketLogFileRoundTrip(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{Ports: 1, LinkBps: 10e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlog := sw.AttachLog(0)
+	for i := 0; i < 100; i++ {
+		sw.Inject(Packet{Flow: testFlow(byte(i % 3)), Bytes: 500, Arrival: uint64(i) * 100})
+	}
+	sw.Flush()
+	var buf bytes.Buffer
+	if err := tlog.WriteLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPacketLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tlog.Len() {
+		t.Fatalf("read %d records, wrote %d", got.Len(), tlog.Len())
+	}
+	if got.Record(5) != tlog.Record(5) {
+		t.Fatalf("record 5 differs: %+v vs %+v", got.Record(5), tlog.Record(5))
+	}
+	if _, err := ReadPacketLog(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("junk log accepted")
+	}
+}
+
+func TestDRRFacade(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{
+		Ports: 1, LinkBps: 1e9, QueuesPerPort: 2,
+		Scheduler: SchedulerDRR, Weights: []int{3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlog := sw.AttachLog(0)
+	for i := 0; i < 400; i++ {
+		sw.Inject(Packet{Flow: testFlow(1), Bytes: 1000, Arrival: 1, Queue: 0})
+		sw.Inject(Packet{Flow: testFlow(2), Bytes: 1000, Arrival: 1, Queue: 1})
+	}
+	sw.Flush()
+	// Count the shares among the first 400 dequeues (both backlogged).
+	counts := map[byte]int{}
+	for i := 0; i < 400; i++ {
+		counts[tlog.Record(i).Flow.SrcIP[3]]++
+	}
+	ratio := float64(counts[1]) / float64(counts[2])
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("DRR 3:1 weights produced ratio %.2f", ratio)
+	}
+	// Weight validation propagates.
+	if _, err := NewSwitch(SwitchConfig{
+		Ports: 1, LinkBps: 1e9, QueuesPerPort: 2,
+		Scheduler: SchedulerDRR, Weights: []int{1},
+	}); err == nil {
+		t.Fatal("mismatched weights accepted")
+	}
+}
+
+func TestPIFOFacadeRank(t *testing.T) {
+	sw, err := NewSwitch(SwitchConfig{
+		Ports: 1, LinkBps: 1e9, Scheduler: SchedulerPIFO,
+		Rank: func(p Packet) uint64 { return uint64(p.Bytes) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlog := sw.AttachLog(0)
+	sw.Inject(Packet{Flow: testFlow(9), Bytes: 125, Arrival: 0})
+	sw.Inject(Packet{Flow: testFlow(1), Bytes: 900, Arrival: 10})
+	sw.Inject(Packet{Flow: testFlow(2), Bytes: 100, Arrival: 20})
+	sw.Flush()
+	if tlog.Record(1).Flow != testFlow(2) {
+		t.Fatalf("custom rank ignored: second dequeue = %v", tlog.Record(1).Flow)
+	}
+}
+
+func TestIndirectAndOriginalTruthFacade(t *testing.T) {
+	sw, _ := NewSwitch(SwitchConfig{Ports: 1, LinkBps: 10e9, BufferCells: 60000})
+	tlog := sw.AttachLog(0)
+	pkts, _, err := Microburst(MicroburstScenario{
+		LinkBps: 10e9, Seed: 4, BurstStart: time.Millisecond, Duration: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		sw.Inject(p)
+	}
+	sw.Flush()
+	victims := tlog.Victims(2000, 1)
+	if len(victims) == 0 {
+		t.Fatal("no victims")
+	}
+	vi := victims[0]
+	if tlog.IndirectTruth(vi) == nil {
+		t.Fatal("nil indirect truth")
+	}
+	orig := tlog.OriginalTruth(vi)
+	if orig.Total() == 0 {
+		t.Fatal("empty original truth during congestion")
+	}
+	counts := tlog.TrueCounts(tlog.Record(vi).EnqTime, tlog.Record(vi).DeqTime)
+	if counts.Total() == 0 {
+		t.Fatal("empty interval truth")
+	}
+}
+
+func TestDPTriggerVariantsFacade(t *testing.T) {
+	cfg := Config{
+		TimeWindows:  TimeWindowConfig{M0: 10, K: 12, Alpha: 1, T: 4, MinPktTxDelay: 1200 * time.Nanosecond},
+		QueueMonitor: QueueMonitorConfig{MaxDepthCells: 65536, GranuleCells: 19},
+		Ports:        []int{0},
+		// Delay- and probe-based triggers (§6.2's other examples).
+		DPTriggerDelay:        200 * time.Microsecond,
+		DPTriggerProbePort:    7777,
+		ReadRateEntriesPerSec: 50e6,
+	}
+	pq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, _ := NewSwitch(SwitchConfig{Ports: 1, LinkBps: 10e9, BufferCells: 60000})
+	pq.Attach(sw)
+	pkts, _, err := Microburst(MicroburstScenario{
+		LinkBps: 10e9, Seed: 8, BurstStart: time.Millisecond, Duration: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := FlowID{SrcIP: [4]byte{10, 8, 0, 1}, DstIP: [4]byte{10, 8, 1, 1}, SrcPort: 999, DstPort: 7777, Proto: 17}
+	// Insert a probe packet mid-burst.
+	for _, p := range pkts {
+		sw.Inject(p)
+		if p.Arrival > 1500000 && p.Arrival < 1500000+3000 {
+			sw.Inject(Packet{Flow: probe, Bytes: 100, Arrival: p.Arrival})
+		}
+	}
+	sw.Flush()
+	dqs := pq.DataPlaneQueries(0)
+	if len(dqs) == 0 {
+		t.Fatal("no data-plane queries from delay/probe triggers")
+	}
+	sawProbe := false
+	for _, dq := range dqs {
+		if dq.Victim == probe {
+			sawProbe = true
+		}
+	}
+	if !sawProbe {
+		t.Log("probe packet did not win a trigger slot (lock contention); delay trigger fired instead")
+	}
+}

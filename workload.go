@@ -1,0 +1,184 @@
+package printqueue
+
+import (
+	"time"
+
+	"printqueue/internal/pktrec"
+	"printqueue/internal/trace"
+)
+
+// This file exposes the workload substrate: generators for the paper's
+// three evaluation traces and its motivating scenarios, producing Packet
+// schedules ready for Switch.Inject.
+
+// Workload selects one of the paper's traffic mixes.
+type Workload int
+
+const (
+	// WorkloadUW models the University of Wisconsin data-center trace:
+	// ~100 B packets, extreme long-tailed flow sizes.
+	WorkloadUW Workload = iota
+	// WorkloadWS models the web-search (DCTCP) flow-size distribution with
+	// near-MTU packets.
+	WorkloadWS
+	// WorkloadDM models the data-mining (VL2) flow-size distribution with
+	// near-MTU packets.
+	WorkloadDM
+)
+
+func (w Workload) internal() trace.Workload {
+	switch w {
+	case WorkloadWS:
+		return trace.WS
+	case WorkloadDM:
+		return trace.DM
+	default:
+		return trace.UW
+	}
+}
+
+func (w Workload) String() string { return w.internal().String() }
+
+// TraceConfig shapes a synthetic trace for one egress port.
+type TraceConfig struct {
+	Workload Workload
+	Seed     uint64
+	Port     int
+	Queue    int
+	LinkBps  uint64
+	// Packets or Duration bounds the trace (at least one required).
+	Packets  int
+	Duration time.Duration
+	// CalmLoad and BurstLoad are offered loads relative to LinkBps outside
+	// and during congestion episodes (defaults 0.9 / workload-specific).
+	CalmLoad, BurstLoad float64
+	// Episodic drives each congestion episode to a target queue depth
+	// drawn log-uniformly from [MinEpisodeCells, MaxEpisodeCells]; this is
+	// how the evaluation populates every queue-depth bucket.
+	Episodic                         bool
+	MinEpisodeCells, MaxEpisodeCells int
+}
+
+// GenerateTrace materializes a synthetic trace.
+func GenerateTrace(cfg TraceConfig) ([]Packet, error) {
+	pkts, err := trace.Generate(trace.Config{
+		Workload:        cfg.Workload.internal(),
+		Seed:            cfg.Seed,
+		Port:            cfg.Port,
+		Queue:           cfg.Queue,
+		LinkBps:         cfg.LinkBps,
+		Packets:         cfg.Packets,
+		DurationNs:      uint64(cfg.Duration.Nanoseconds()),
+		CalmLoad:        cfg.CalmLoad,
+		BurstLoad:       cfg.BurstLoad,
+		Episodic:        cfg.Episodic,
+		MinEpisodeCells: cfg.MinEpisodeCells,
+		MaxEpisodeCells: cfg.MaxEpisodeCells,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return convertPackets(pkts), nil
+}
+
+func convertPackets(pkts []*pktrec.Packet) []Packet {
+	out := make([]Packet, len(pkts))
+	for i, p := range pkts {
+		out[i] = Packet{
+			Flow:    fromInternal(p.Flow),
+			Bytes:   p.Bytes,
+			Arrival: p.Arrival,
+			Port:    p.Port,
+			Queue:   p.Queue,
+		}
+	}
+	return out
+}
+
+// MicroburstScenario configures the Figure-1 scenario: light background
+// traffic plus one multi-sender microburst.
+type MicroburstScenario struct {
+	Port          int
+	LinkBps       uint64
+	Seed          uint64
+	BackgroundBps float64
+	BurstFlows    int
+	BurstPackets  int
+	BurstStart    time.Duration
+	Duration      time.Duration
+}
+
+// Microburst builds the scenario. The returned FlowID is the background
+// flow whose post-burst packets make natural victims.
+func Microburst(s MicroburstScenario) ([]Packet, FlowID, error) {
+	pkts, bg, err := trace.Microburst(trace.MicroburstConfig{
+		Port:          s.Port,
+		LinkBps:       s.LinkBps,
+		Seed:          s.Seed,
+		BackgroundBps: s.BackgroundBps,
+		BurstFlows:    s.BurstFlows,
+		BurstPackets:  s.BurstPackets,
+		BurstStartNs:  uint64(s.BurstStart.Nanoseconds()),
+		DurationNs:    uint64(s.Duration.Nanoseconds()),
+	})
+	if err != nil {
+		return nil, FlowID{}, err
+	}
+	return convertPackets(pkts), fromInternal(bg), nil
+}
+
+// IncastScenario configures synchronized senders converging on one port.
+type IncastScenario struct {
+	Port          int
+	LinkBps       uint64
+	Seed          uint64
+	Senders       int
+	ResponseBytes int
+	Start         time.Duration
+	SyncJitter    time.Duration
+	Duration      time.Duration
+}
+
+// Incast builds the scenario, returning the probe (victim) flow and the
+// synchronized application flows.
+func Incast(s IncastScenario) ([]Packet, FlowID, []FlowID, error) {
+	pkts, probe, app, err := trace.Incast(trace.IncastConfig{
+		Port:          s.Port,
+		LinkBps:       s.LinkBps,
+		Seed:          s.Seed,
+		Senders:       s.Senders,
+		ResponseBytes: s.ResponseBytes,
+		StartNs:       uint64(s.Start.Nanoseconds()),
+		SyncJitterNs:  uint64(s.SyncJitter.Nanoseconds()),
+		DurationNs:    uint64(s.Duration.Nanoseconds()),
+	})
+	if err != nil {
+		return nil, FlowID{}, nil, err
+	}
+	flows := make([]FlowID, len(app))
+	for i, k := range app {
+		flows[i] = fromInternal(k)
+	}
+	return convertPackets(pkts), fromInternal(probe), flows, nil
+}
+
+// CaseStudyFlows names the §7.2 case study's principals.
+type CaseStudyFlows struct {
+	Background FlowID
+	Burst      FlowID
+	NewTCP     FlowID
+}
+
+// CaseStudy builds the paper's §7.2 scenario at the given time scale
+// (1.0 = the full 500 ms, 10000-datagram run).
+func CaseStudy(scale float64) ([]Packet, CaseStudyFlows, error) {
+	pkts, fs, err := trace.CaseStudy(trace.DefaultCaseStudy(scale))
+	if err != nil {
+		return nil, CaseStudyFlows{}, err
+	}
+	return convertPackets(pkts), CaseStudyFlows{
+		Background: fromInternal(fs.Background),
+		Burst:      fromInternal(fs.Burst),
+		NewTCP:     fromInternal(fs.NewTCP),
+	}, nil
+}
