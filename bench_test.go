@@ -16,6 +16,7 @@ package printqueue
 
 import (
 	"math/rand/v2"
+	"strconv"
 	"testing"
 	"time"
 
@@ -296,6 +297,85 @@ func BenchmarkSwitchPerPacket(b *testing.B) {
 		ts += 70 // slightly over line rate: persistent queue
 		pkt := &pktrec.Packet{Flow: keys[i&63].internal(), Bytes: 100, Arrival: ts}
 		sw.Inject(pkt)
+	}
+}
+
+// --- Sharded ingestion pipeline ---
+
+// benchIngestConfig is the multi-port configuration shared by the pipeline
+// and serial throughput benchmarks: the paper's UW datapath with a bounded
+// checkpoint history so long runs don't accumulate snapshots.
+func benchIngestConfig(nports int) Config {
+	ports := make([]int, nports)
+	for i := range ports {
+		ports[i] = i
+	}
+	cfg := DefaultConfig(ports...)
+	cfg.PollPeriod = time.Millisecond
+	cfg.MaxCheckpoints = 8
+	return cfg
+}
+
+// benchIngestPacket computes the i-th packet of the synthetic multi-port
+// stream: ports round-robin, each port advancing its clock at line rate.
+func benchIngestPacket(i, nports int, ts []uint64, keys []FlowID) (Packet, uint64, uint64) {
+	port := i % nports
+	ts[port] += 80 * uint64(nports)
+	deq := ts[port] + 1000
+	return Packet{Flow: keys[i&63], Port: port, Queue: 0, Bytes: 100}, deq - 500, deq
+}
+
+// BenchmarkPipelineThroughput measures aggregate ingestion through the
+// sharded pipeline at 1, 4, and 16 activated ports. Pipeline start and
+// Close (flush + drain) are inside the timed region, so pkts/sec is
+// end-to-end. On a multi-core machine aggregate throughput scales with
+// shard count; compare against BenchmarkSerialThroughput for the speedup.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	for _, nports := range []int{1, 4, 16} {
+		b.Run("ports="+strconv.Itoa(nports), func(b *testing.B) {
+			pq, err := New(benchIngestConfig(nports))
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := benchKeys(64)
+			ts := make([]uint64, nports)
+			b.ResetTimer()
+			pl, err := pq.StartPipeline(PipelineConfig{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				pkt, enq, deq := benchIngestPacket(i, nports, ts, keys)
+				pl.Observe(pkt, enq, deq, 40)
+			}
+			pl.Close()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+		})
+	}
+}
+
+// BenchmarkSerialThroughput is the single-goroutine baseline for
+// BenchmarkPipelineThroughput: the same synthetic multi-port stream fed
+// through System.Observe, with flips snapshotting inline on the packet
+// path.
+func BenchmarkSerialThroughput(b *testing.B) {
+	for _, nports := range []int{1, 4, 16} {
+		b.Run("ports="+strconv.Itoa(nports), func(b *testing.B) {
+			pq, err := New(benchIngestConfig(nports))
+			if err != nil {
+				b.Fatal(err)
+			}
+			keys := benchKeys(64)
+			ts := make([]uint64, nports)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pkt, enq, deq := benchIngestPacket(i, nports, ts, keys)
+				pq.Observe(pkt, enq, deq, 40)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pkts/sec")
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"printqueue/internal/core/qmonitor"
 	"printqueue/internal/core/registers"
@@ -145,9 +146,20 @@ type Stats struct {
 	Checkpoints     int   // periodic freezes taken
 	SpecialFreezes  int   // data-plane query freezes
 	EntriesRead     int64 // register entries copied to the control plane
-	InfeasibleFlips int   // freezes whose read exceeded the poll period
+	InfeasibleFlips int   // freezes whose read exceeded the poll period or overran the snapshotter
 	DPSuppressed    int   // data-plane triggers ignored because a read was in flight
 	PacketsObserved int64
+}
+
+// statsCounters is the live, atomically updated form of Stats. The counters
+// are touched from sharded ingestion workers and the background snapshot
+// goroutine concurrently, and read by Stats() at any time.
+type statsCounters struct {
+	checkpoints     atomic.Int64
+	specialFreezes  atomic.Int64
+	entriesRead     atomic.Int64
+	infeasibleFlips atomic.Int64
+	dpSuppressed    atomic.Int64
 }
 
 type portState struct {
@@ -155,8 +167,9 @@ type portState struct {
 	prefix int // rank among activated ports; the q-bit register prefix
 
 	// mu guards the checkpoint and data-plane query histories, which the
-	// single data-plane goroutine appends to and any number of query
-	// goroutines read. The per-packet hot path takes no lock.
+	// per-port ingestion goroutine and the snapshot goroutine append to and
+	// any number of query goroutines read. The per-packet hot path takes no
+	// lock.
 	mu sync.RWMutex
 
 	tw [4]*timewindow.Windows // by setSel.index()
@@ -166,6 +179,19 @@ type portState struct {
 	lastFlip      uint64
 	started       bool
 	dpLockedUntil uint64
+
+	// packets counts dequeues observed on this port. Per-port so that each
+	// ingestion worker increments an uncontended counter; Stats() sums them.
+	packets atomic.Int64
+
+	// Pending-snapshot bookkeeping for off-hot-path checkpointing: flip
+	// hands the frozen set to the snapshot goroutine and must not write
+	// into a set whose read is still in flight (the paper's double-buffer
+	// invariant). pendCond is signalled when a snapshot retires.
+	pendMu     sync.Mutex
+	pendCond   *sync.Cond
+	pendingSet [4]bool
+	pendingN   int
 
 	checkpoints []*Checkpoint
 	dpQueries   []*DPQuery
@@ -180,7 +206,15 @@ type System struct {
 	twFiles []*registers.File[timewindow.Cell]
 	qmFile  *registers.File[qmonitor.Entry]
 	ports   map[int]*portState
-	stats   Stats
+	// portTab is a dense port-id -> state table so the per-packet hot path
+	// avoids a map lookup (the ingress flow-table match, in hardware terms).
+	portTab []*portState
+	stats   statsCounters
+	// snap, when non-nil, is the background checkpoint goroutine: flips
+	// hand frozen register sets to it instead of copying them inline on
+	// the packet path. It is installed by Pipeline and must only change
+	// while no ingestion workers are running.
+	snap *snapshotter
 }
 
 // New builds a System. Register arrays are allocated for r(#ports)
@@ -205,8 +239,17 @@ func New(cfg Config) (*System, error) {
 	}
 	s.qmFile = registers.NewFile[qmonitor.Entry](qmLayout)
 
+	maxPort := 0
+	for _, port := range cfg.Ports {
+		if port > maxPort {
+			maxPort = port
+		}
+	}
+	s.portTab = make([]*portState, maxPort+1)
+
 	for rank, port := range cfg.Ports {
 		ps := &portState{id: port, prefix: rank}
+		ps.pendCond = sync.NewCond(&ps.pendMu)
 		for _, sel := range allSets() {
 			storage := make([][]timewindow.Cell, cfg.TW.T)
 			for i := range storage {
@@ -230,6 +273,7 @@ func New(cfg Config) (*System, error) {
 			}
 		}
 		s.ports[port] = ps
+		s.portTab[port] = ps
 	}
 	return s, nil
 }
@@ -254,10 +298,22 @@ func bitsFor(n int) int {
 // Config returns the system configuration (after normalization).
 func (s *System) Config() Config { return s.cfg }
 
-// Stats returns a snapshot of the control-plane counters. Call it from the
-// data-plane goroutine or after the data plane has stopped; the counters
-// are not synchronized with OnDequeue.
-func (s *System) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the control-plane counters. The counters are
+// atomic, so it is safe to call from any goroutine while traffic is flowing
+// — through the sharded ingestion pipeline or direct OnDequeue calls alike.
+func (s *System) Stats() Stats {
+	st := Stats{
+		Checkpoints:     int(s.stats.checkpoints.Load()),
+		SpecialFreezes:  int(s.stats.specialFreezes.Load()),
+		EntriesRead:     s.stats.entriesRead.Load(),
+		InfeasibleFlips: int(s.stats.infeasibleFlips.Load()),
+		DPSuppressed:    int(s.stats.dpSuppressed.Load()),
+	}
+	for _, ps := range s.ports {
+		st.PacketsObserved += ps.packets.Load()
+	}
+	return st
+}
 
 // Layout returns the time-window register layout (for SRAM accounting).
 func (s *System) Layout() registers.Layout { return s.layout }
@@ -282,8 +338,11 @@ func (s *System) readLatencyNs() uint64 {
 // evaluates the data-plane query trigger. Packets for ports without
 // PrintQueue are ignored (the ingress flow table found no match).
 func (s *System) OnDequeue(p *pktrec.Packet) {
-	ps, ok := s.ports[p.Port]
-	if !ok {
+	if p.Port < 0 || p.Port >= len(s.portTab) {
+		return
+	}
+	ps := s.portTab[p.Port]
+	if ps == nil {
 		return
 	}
 	now := p.Meta.DeqTimestamp()
@@ -293,7 +352,7 @@ func (s *System) OnDequeue(p *pktrec.Packet) {
 	} else if now-ps.lastFlip >= s.cfg.PollPeriodNs {
 		s.flip(ps, now)
 	}
-	s.stats.PacketsObserved++
+	ps.packets.Add(1)
 
 	ps.tw[ps.writeSel.index()].Insert(p.Flow, now)
 	queue := p.Queue
@@ -304,20 +363,22 @@ func (s *System) OnDequeue(p *pktrec.Packet) {
 
 	if s.cfg.DPTrigger != nil && s.cfg.DPTrigger(p) {
 		if now < ps.dpLockedUntil {
-			s.stats.DPSuppressed++
+			s.stats.dpSuppressed.Add(1)
 		} else {
 			s.dataPlaneQuery(ps, p, queue, now)
 		}
 	}
 }
 
-// freeze snapshots the current write set of a port into a checkpoint and
-// charges the read cost.
-func (s *System) freeze(ps *portState, now uint64, special bool) *Checkpoint {
-	sel := ps.writeSel.index()
+// snapshotSet copies register set sel of a port into a checkpoint and
+// charges the read cost. In synchronous mode it runs on the caller; under a
+// Pipeline it runs on the background snapshot goroutine, off the packet
+// path — the software analogue of the paper's asynchronous PCIe register
+// reads.
+func (s *System) snapshotSet(ps *portState, sel int, freezeTime, prevFreeze uint64, special bool) *Checkpoint {
 	cp := &Checkpoint{
-		FreezeTime: now,
-		PrevFreeze: ps.lastFlip,
+		FreezeTime: freezeTime,
+		PrevFreeze: prevFreeze,
 		Special:    special,
 		TW:         ps.tw[sel].Snapshot(),
 		QM:         make([]*qmonitor.Snapshot, s.cfg.QueuesPerPort),
@@ -325,7 +386,7 @@ func (s *System) freeze(ps *portState, now uint64, special bool) *Checkpoint {
 	for q := range cp.QM {
 		cp.QM[q] = ps.qm[q][sel].Snapshot()
 	}
-	s.stats.EntriesRead += int64(s.entriesPerCheckpoint())
+	s.stats.entriesRead.Add(int64(s.entriesPerCheckpoint()))
 	return cp
 }
 
@@ -348,21 +409,79 @@ func (ps *portState) snapshotCheckpoints() []*Checkpoint {
 	return out
 }
 
+// markPending records that register set sel has a frozen read in flight.
+func (ps *portState) markPending(sel int) {
+	ps.pendMu.Lock()
+	ps.pendingSet[sel] = true
+	ps.pendingN++
+	ps.pendMu.Unlock()
+}
+
+// clearPending retires set sel's frozen read and wakes any flip blocked on
+// it.
+func (ps *portState) clearPending(sel int) {
+	ps.pendMu.Lock()
+	ps.pendingSet[sel] = false
+	ps.pendingN--
+	ps.pendCond.Broadcast()
+	ps.pendMu.Unlock()
+}
+
+// waitSetFree blocks until set sel has no frozen read in flight. Having to
+// wait at all means the snapshotter fell a full poll period behind — the
+// backpressure regime — so the stall is charged to InfeasibleFlips.
+func (ps *portState) waitSetFree(sel int, st *statsCounters) {
+	ps.pendMu.Lock()
+	if ps.pendingSet[sel] {
+		st.infeasibleFlips.Add(1)
+		for ps.pendingSet[sel] {
+			ps.pendCond.Wait()
+		}
+	}
+	ps.pendMu.Unlock()
+}
+
+// drainPending blocks until every in-flight frozen read of this port has
+// retired, so the checkpoint history is complete up to the last flip.
+func (ps *portState) drainPending() {
+	ps.pendMu.Lock()
+	for ps.pendingN > 0 {
+		ps.pendCond.Wait()
+	}
+	ps.pendMu.Unlock()
+}
+
 // flip performs one periodic frozen read: checkpoint the active set, then
 // direct subsequent updates to the other periodic set (second-highest index
 // bit toggled), seeding the queue monitor's top/seq continuity.
+//
+// With a background snapshotter installed (pipelined mode), the packet path
+// only toggles the write selector and hands the now-idle set to the
+// snapshot goroutine; the full-set register copy happens off the hot path.
+// If the set about to become the write target still has a read in flight —
+// the snapshotter is more than one poll period behind — the flip blocks
+// until the read retires and the stall is charged to InfeasibleFlips,
+// mirroring the paper's Figure-13 data-exchange limit.
 func (s *System) flip(ps *portState, now uint64) {
-	cp := s.freeze(ps, now, false)
-	ps.retire(cp, s.cfg.MaxCheckpoints)
-	s.stats.Checkpoints++
-	if lat := s.readLatencyNs(); lat > s.cfg.PollPeriodNs {
-		s.stats.InfeasibleFlips++
-	}
 	oldSel := ps.writeSel.index()
-	ps.writeSel = ps.writeSel.toggleFlip()
-	newSel := ps.writeSel.index()
+	prevFreeze := ps.lastFlip
+	s.stats.checkpoints.Add(1)
+	if lat := s.readLatencyNs(); lat > s.cfg.PollPeriodNs {
+		s.stats.infeasibleFlips.Add(1)
+	}
+	newSel := ps.writeSel.toggleFlip()
+	if sn := s.snap; sn != nil {
+		ps.waitSetFree(newSel.index(), &s.stats)
+		ps.markPending(oldSel)
+		sn.enqueue(snapJob{ps: ps, sel: oldSel, freezeTime: now, prevFreeze: prevFreeze})
+	} else {
+		cp := s.snapshotSet(ps, oldSel, now, prevFreeze, false)
+		ps.retire(cp, s.cfg.MaxCheckpoints)
+	}
+	ps.writeSel = newSel
+	ni := newSel.index()
 	for q := 0; q < s.cfg.QueuesPerPort; q++ {
-		ps.qm[q][newSel].Adopt(ps.qm[q][oldSel].Top(), ps.qm[q][oldSel].Seq())
+		ps.qm[q][ni].Adopt(ps.qm[q][oldSel].Top(), ps.qm[q][oldSel].Seq())
 	}
 	ps.lastFlip = now
 }
@@ -373,9 +492,17 @@ func (s *System) flip(ps *portState, now uint64) {
 // special read completes, and execute the victim's own queuing interval as
 // the query.
 func (s *System) dataPlaneQuery(ps *portState, p *pktrec.Packet, queue int, now uint64) {
-	cp := s.freeze(ps, now, true)
+	// Under a Pipeline, periodic checkpoints may still be in flight on the
+	// snapshot goroutine. The special read is prioritized on hardware but
+	// the query below walks the whole checkpoint chain, so drain pending
+	// reads first: the history stays ordered by freeze time and the query
+	// sees the same chain the serial path would.
+	if s.snap != nil {
+		ps.drainPending()
+	}
+	cp := s.snapshotSet(ps, ps.writeSel.index(), now, ps.lastFlip, true)
 	ps.retire(cp, s.cfg.MaxCheckpoints)
-	s.stats.SpecialFreezes++
+	s.stats.specialFreezes.Add(1)
 	oldSel := ps.writeSel.index()
 	ps.writeSel = ps.writeSel.toggleDP()
 	newSel := ps.writeSel.index()
@@ -411,13 +538,17 @@ func (s *System) dataPlaneQuery(ps *portState, p *pktrec.Packet, queue int, now 
 
 // FinalizePort forces a final checkpoint of a port's live registers at the
 // given time, so post-run asynchronous queries can reach the most recent
-// traffic. Typically called once after the simulation drains.
+// traffic. Typically called once after the simulation drains (and, under a
+// Pipeline, after the pipeline is closed).
 func (s *System) FinalizePort(port int, now uint64) error {
 	ps, ok := s.ports[port]
 	if !ok {
 		return fmt.Errorf("control: port %d not activated", port)
 	}
 	s.flip(ps, now)
+	if s.snap != nil {
+		ps.drainPending()
+	}
 	return nil
 }
 
@@ -486,7 +617,7 @@ func queryCheckpoints(cps []*Checkpoint, start, end uint64) flow.Counts {
 		if hi <= lo {
 			continue
 		}
-		total.Merge(cp.Filtered().Query(lo, hi))
+		cp.Filtered().QueryInto(total, lo, hi)
 	}
 	return total
 }

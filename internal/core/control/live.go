@@ -8,9 +8,11 @@ import (
 // QueryServer serves asynchronous queries concurrently with a running data
 // plane. The paper's analysis program accepts remote requests while the
 // switch keeps forwarding; here, any number of goroutines may submit
-// requests while one goroutine drives OnDequeue. Queries read only the
-// frozen checkpoint history (stable copies), never the live registers, so
-// the per-packet hot path stays lock-free.
+// requests while OnDequeue is driven — serially by one goroutine, or by the
+// sharded ingestion Pipeline's workers. Queries read only the frozen
+// checkpoint history (stable copies), never the live registers, so the
+// per-packet hot path stays lock-free. Stats is likewise safe to poll at
+// any time (the counters are atomic).
 type QueryServer struct {
 	sys *System
 

@@ -1,0 +1,232 @@
+package control
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"printqueue/internal/pktrec"
+)
+
+// This file implements the sharded ingestion pipeline: the software
+// analogue of the Tofino processing every egress port's packets in parallel
+// pipeline stages (paper §6). Ports are partitioned across shard workers,
+// each fed by a bounded SPSC batch ring, so aggregate throughput scales
+// with cores while each port's packets are still processed by exactly one
+// goroutine in dequeue order — the invariant every PrintQueue structure
+// depends on. Checkpoint register copies run on a separate snapshot
+// goroutine (snapshotter), mirroring the paper's double-buffered frozen
+// reads over PCIe: the packet path only toggles the write selector.
+
+// PipelineConfig tunes the sharded ingestion pipeline.
+type PipelineConfig struct {
+	// Shards is the number of ingestion worker goroutines. Ports are
+	// assigned round-robin by activation rank. Default (0):
+	// min(#ports, GOMAXPROCS).
+	Shards int
+	// BatchSize is the number of packets per ring batch. Default 256.
+	BatchSize int
+	// RingDepth is the number of batches buffered per shard before the
+	// producer blocks. Default 8.
+	RingDepth int
+	// SnapshotQueue bounds the frozen reads queued to the snapshot
+	// goroutine before flips block. Default 2*#ports (both periodic sets
+	// of every port in flight).
+	SnapshotQueue int
+}
+
+func (c *PipelineConfig) normalize(numPorts int) {
+	if c.Shards <= 0 {
+		c.Shards = numPorts
+		if p := runtime.GOMAXPROCS(0); c.Shards > p {
+			c.Shards = p
+		}
+	}
+	if c.Shards > numPorts {
+		c.Shards = numPorts
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.RingDepth <= 0 {
+		c.RingDepth = 8
+	}
+	if c.SnapshotQueue <= 0 {
+		c.SnapshotQueue = 2 * numPorts
+	}
+}
+
+// shard is one worker's input queue plus the producer-side batch being
+// filled for it.
+type shard struct {
+	ring *spscRing
+	cur  *packetBatch
+}
+
+// Pipeline drives a System through sharded, batched ingestion. Ingest must
+// be called from a single goroutine with packets in per-port dequeue order
+// (the order the traffic manager emits them); the pipeline fans them out to
+// the port's shard worker. Close flushes, drains the workers and the
+// snapshot goroutine, and returns the System to synchronous (serial) mode.
+type Pipeline struct {
+	sys    *System
+	cfg    PipelineConfig
+	shards []*shard
+	// shardOf maps a port id to its shard (dense, like System.portTab).
+	shardOf []*shard
+	pool    sync.Pool
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewPipeline builds and starts a pipeline over a System. The System must
+// not be driven by direct OnDequeue calls (or a second pipeline) while the
+// pipeline is open.
+func NewPipeline(sys *System, cfg PipelineConfig) (*Pipeline, error) {
+	cfg.normalize(len(sys.cfg.Ports))
+	if err := sys.startSnapshotter(cfg.SnapshotQueue); err != nil {
+		return nil, err
+	}
+	pl := &Pipeline{sys: sys, cfg: cfg}
+	pl.pool.New = func() any {
+		return &packetBatch{pkts: make([]pktrec.Packet, 0, cfg.BatchSize)}
+	}
+	pl.shards = make([]*shard, cfg.Shards)
+	for i := range pl.shards {
+		pl.shards[i] = &shard{ring: newSPSCRing(cfg.RingDepth)}
+	}
+	pl.shardOf = make([]*shard, len(sys.portTab))
+	for rank, port := range sys.cfg.Ports {
+		pl.shardOf[port] = pl.shards[rank%cfg.Shards]
+	}
+	for _, sh := range pl.shards {
+		pl.wg.Add(1)
+		go pl.worker(sh)
+	}
+	return pl, nil
+}
+
+// Ingest hands one dequeued packet to its port's shard. The packet is
+// copied by value into the current batch; the caller may reuse *p. Packets
+// for ports without PrintQueue are dropped, as in OnDequeue.
+func (pl *Pipeline) Ingest(p *pktrec.Packet) {
+	if p.Port < 0 || p.Port >= len(pl.shardOf) {
+		return
+	}
+	sh := pl.shardOf[p.Port]
+	if sh == nil {
+		return
+	}
+	b := sh.cur
+	if b == nil {
+		b = pl.pool.Get().(*packetBatch)
+		sh.cur = b
+	}
+	b.pkts = append(b.pkts, *p)
+	if len(b.pkts) == cap(b.pkts) {
+		sh.ring.push(b)
+		sh.cur = nil
+	}
+}
+
+// Flush pushes every partially filled batch to its shard so the workers see
+// all packets ingested so far. It does not wait for them to be processed.
+func (pl *Pipeline) Flush() {
+	for _, sh := range pl.shards {
+		if sh.cur != nil && len(sh.cur.pkts) > 0 {
+			sh.ring.push(sh.cur)
+			sh.cur = nil
+		}
+	}
+}
+
+// Close flushes remaining batches, waits for the shard workers to drain,
+// stops the snapshot goroutine (retiring any in-flight frozen reads), and
+// returns the System to synchronous mode. After Close, Finalize and queries
+// observe every ingested packet. Close is idempotent.
+func (pl *Pipeline) Close() {
+	if pl.closed {
+		return
+	}
+	pl.closed = true
+	pl.Flush()
+	for _, sh := range pl.shards {
+		sh.ring.close()
+	}
+	pl.wg.Wait()
+	pl.sys.stopSnapshotter()
+}
+
+// worker is one shard's ingestion goroutine: it owns its ports exclusively,
+// so the per-port serial path (register updates, flips, DP queries) runs
+// unmodified and in dequeue order.
+func (pl *Pipeline) worker(sh *shard) {
+	defer pl.wg.Done()
+	sys := pl.sys
+	for {
+		b, ok := sh.ring.pop()
+		if !ok {
+			return
+		}
+		for i := range b.pkts {
+			sys.OnDequeue(&b.pkts[i])
+		}
+		b.pkts = b.pkts[:0]
+		pl.pool.Put(b)
+	}
+}
+
+// snapJob is one frozen read handed to the snapshot goroutine: the register
+// set of a port frozen at freezeTime, covering (prevFreeze, freezeTime].
+type snapJob struct {
+	ps         *portState
+	sel        int
+	freezeTime uint64
+	prevFreeze uint64
+}
+
+// snapshotter is the background checkpoint goroutine. A single goroutine
+// consumes jobs FIFO, which preserves each port's checkpoint order (jobs
+// for one port are enqueued by its one shard worker, in flip order) —
+// queryCheckpoints and nearestCheckpoint rely on the history being sorted
+// by freeze time.
+type snapshotter struct {
+	sys *System
+	ch  chan snapJob
+	wg  sync.WaitGroup
+}
+
+func (s *System) startSnapshotter(queue int) error {
+	if s.snap != nil {
+		return fmt.Errorf("control: pipeline already attached to this system")
+	}
+	sn := &snapshotter{sys: s, ch: make(chan snapJob, queue)}
+	sn.wg.Add(1)
+	go sn.run()
+	s.snap = sn
+	return nil
+}
+
+// stopSnapshotter drains outstanding jobs and uninstalls the snapshotter;
+// subsequent flips snapshot synchronously again. Must only be called once
+// every ingestion worker has stopped.
+func (s *System) stopSnapshotter() {
+	sn := s.snap
+	if sn == nil {
+		return
+	}
+	close(sn.ch)
+	sn.wg.Wait()
+	s.snap = nil
+}
+
+func (sn *snapshotter) enqueue(job snapJob) { sn.ch <- job }
+
+func (sn *snapshotter) run() {
+	defer sn.wg.Done()
+	for job := range sn.ch {
+		cp := sn.sys.snapshotSet(job.ps, job.sel, job.freezeTime, job.prevFreeze, false)
+		job.ps.retire(cp, sn.sys.cfg.MaxCheckpoints)
+		job.ps.clearPending(job.sel)
+	}
+}

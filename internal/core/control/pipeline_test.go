@@ -1,0 +1,352 @@
+package control
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"printqueue/internal/pktrec"
+)
+
+// genMultiPortTrace produces a deterministic multi-port stream in per-port
+// dequeue order (globally interleaved), with enough depth variation to
+// exercise the queue monitor and the DP trigger.
+func genMultiPortTrace(ports []int, queues, n int, seed uint64) []*pktrec.Packet {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e37))
+	ts := make(map[int]uint64, len(ports))
+	for _, p := range ports {
+		ts[p] = 1000
+	}
+	out := make([]*pktrec.Packet, 0, n)
+	for i := 0; i < n; i++ {
+		port := ports[rng.IntN(len(ports))]
+		ts[port] += uint64(5 + rng.IntN(40))
+		deq := ts[port]
+		delta := uint64(10 + rng.IntN(200))
+		out = append(out, &pktrec.Packet{
+			Flow:  fkey(byte(rng.IntN(12))),
+			Port:  port,
+			Queue: rng.IntN(queues),
+			Meta: pktrec.Metadata{
+				EnqTimestamp: deq - delta,
+				DeqTimedelta: delta,
+				EnqQdepth:    rng.IntN(300),
+			},
+		})
+	}
+	return out
+}
+
+// TestPipelineSerialEquivalence feeds the same multi-port trace through the
+// sharded pipeline and through direct serial OnDequeue calls and requires
+// identical QueryInterval and QueryOriginal reports per port, identical
+// checkpoint chains, and identical deterministic counters.
+func TestPipelineSerialEquivalence(t *testing.T) {
+	ports := []int{0, 2, 3, 5}
+	const queues = 2
+	mk := func() *System {
+		cfg := testConfig(ports...)
+		cfg.QueuesPerPort = queues
+		cfg.PollPeriodNs = 1500
+		cfg.DPTrigger = func(p *pktrec.Packet) bool { return p.Meta.EnqQdepth >= 295 }
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	serial, piped := mk(), mk()
+	pl, err := NewPipeline(piped, PipelineConfig{Shards: 3, BatchSize: 16, RingDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkts := genMultiPortTrace(ports, queues, 20000, 7)
+	var last uint64
+	for _, p := range pkts {
+		serial.OnDequeue(p)
+		pl.Ingest(p)
+		if d := p.Meta.DeqTimestamp(); d > last {
+			last = d
+		}
+	}
+	pl.Close()
+	serial.Finalize(last + 1)
+	piped.Finalize(last + 1)
+
+	ss, sp := serial.Stats(), piped.Stats()
+	if ss.PacketsObserved != sp.PacketsObserved || ss.Checkpoints != sp.Checkpoints ||
+		ss.EntriesRead != sp.EntriesRead || ss.SpecialFreezes != sp.SpecialFreezes {
+		t.Fatalf("stats diverge: serial %+v pipeline %+v", ss, sp)
+	}
+
+	for _, port := range ports {
+		scp, pcp := serial.Checkpoints(port), piped.Checkpoints(port)
+		if len(scp) != len(pcp) {
+			t.Fatalf("port %d: %d serial checkpoints, %d pipelined", port, len(scp), len(pcp))
+		}
+		for i := range scp {
+			if scp[i].FreezeTime != pcp[i].FreezeTime || scp[i].PrevFreeze != pcp[i].PrevFreeze ||
+				scp[i].Special != pcp[i].Special {
+				t.Fatalf("port %d checkpoint %d differs: serial %+v pipelined %+v",
+					port, i, scp[i], pcp[i])
+			}
+		}
+
+		// Full-range and sub-range interval queries must match exactly.
+		for _, iv := range [][2]uint64{{1000, last + 1}, {2000, last / 2}, {last / 3, 2 * last / 3}} {
+			if iv[1] <= iv[0] {
+				continue
+			}
+			a, err := serial.QueryInterval(port, iv[0], iv[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := piped.QueryInterval(port, iv[0], iv[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("port %d interval %v: serial %v != pipelined %v", port, iv, a, b)
+			}
+		}
+
+		for q := 0; q < queues; q++ {
+			for _, at := range []uint64{last / 2, last} {
+				a, err := serial.QueryOriginal(port, q, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := piped.QueryOriginal(port, q, at)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("port %d queue %d original@%d: serial %v != pipelined %v",
+						port, q, at, a, b)
+				}
+			}
+		}
+
+		// Data-plane queries triggered at the same packets with the same
+		// culprit reports.
+		sd, pd := serial.DPQueries(port), piped.DPQueries(port)
+		if len(sd) != len(pd) {
+			t.Fatalf("port %d: %d serial DP queries, %d pipelined", port, len(sd), len(pd))
+		}
+		for i := range sd {
+			if sd[i].Victim != pd[i].Victim || sd[i].FreezeTime != pd[i].FreezeTime {
+				t.Fatalf("port %d DP query %d differs: %+v vs %+v", port, i, sd[i], pd[i])
+			}
+			if !reflect.DeepEqual(sd[i].Result, pd[i].Result) {
+				t.Fatalf("port %d DP query %d results differ", port, i)
+			}
+		}
+	}
+}
+
+// TestPipelineConcurrentQueries exercises Stats and asynchronous queries
+// while the pipeline is actively ingesting — the combination the atomic
+// counters and checkpoint locking exist for (run under -race).
+func TestPipelineConcurrentQueries(t *testing.T) {
+	ports := []int{0, 1}
+	cfg := testConfig(ports...)
+	cfg.PollPeriodNs = 800
+	cfg.MaxCheckpoints = 8
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(sys, PipelineConfig{Shards: 2, BatchSize: 8, RingDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = sys.Stats()
+			_, _ = sys.QueryInterval(0, 1000, 1e9)
+			_, _ = sys.QueryOriginal(1, 0, 5e5)
+			_ = sys.Checkpoints(0)
+		}
+	}()
+	for _, p := range genMultiPortTrace(ports, 1, 30000, 11) {
+		pl.Ingest(p)
+	}
+	pl.Close()
+	close(stop)
+	wg.Wait()
+	if got := sys.Stats().PacketsObserved; got != 30000 {
+		t.Fatalf("observed %d packets, want 30000", got)
+	}
+}
+
+// TestPipelineRejectsSecond verifies the one-pipeline-per-system guard and
+// that Close returns the system to a state where a new pipeline can start.
+func TestPipelineRejectsSecond(t *testing.T) {
+	sys, err := New(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(sys, PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipeline(sys, PipelineConfig{}); err == nil {
+		t.Fatal("second pipeline accepted while the first is open")
+	}
+	pl.Close()
+	pl.Close() // idempotent
+	pl2, err := NewPipeline(sys, PipelineConfig{})
+	if err != nil {
+		t.Fatalf("pipeline after Close rejected: %v", err)
+	}
+	pl2.Close()
+}
+
+// TestBackpressureAccounting verifies that a flip targeting a register set
+// whose frozen read is still in flight blocks until the read retires and
+// charges the stall to InfeasibleFlips.
+func TestBackpressureAccounting(t *testing.T) {
+	sys, err := New(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := sys.ports[0]
+	ps.markPending(1)
+	done := make(chan struct{})
+	go func() {
+		ps.waitSetFree(1, &sys.stats)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("waitSetFree returned while the read was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	ps.clearPending(1)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("waitSetFree did not wake after the read retired")
+	}
+	if got := sys.Stats().InfeasibleFlips; got != 1 {
+		t.Fatalf("InfeasibleFlips = %d, want 1", got)
+	}
+	// A free set must not block or charge anything.
+	ps.waitSetFree(0, &sys.stats)
+	if got := sys.Stats().InfeasibleFlips; got != 1 {
+		t.Fatalf("free set charged: InfeasibleFlips = %d, want 1", got)
+	}
+}
+
+// TestSPSCRing checks ordered delivery, blocking backpressure, and close
+// semantics of the batch ring.
+func TestSPSCRing(t *testing.T) {
+	r := newSPSCRing(4)
+	const n = 5000
+	var got []int
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			b, ok := r.pop()
+			if !ok {
+				return
+			}
+			got = append(got, int(b.pkts[0].Arrival))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		b := &packetBatch{pkts: []pktrec.Packet{{Arrival: uint64(i)}}}
+		if !r.push(b) {
+			t.Fatal("push failed on open ring")
+		}
+	}
+	r.close()
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("consumer saw %d batches, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("batch %d out of order: got %d", i, v)
+		}
+	}
+	if r.push(&packetBatch{}) {
+		t.Fatal("push succeeded on closed ring")
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("pop returned a batch from a drained closed ring")
+	}
+}
+
+// TestSPSCRingDepthRounding documents the power-of-two sizing.
+func TestSPSCRingDepthRounding(t *testing.T) {
+	for _, tt := range []struct{ depth, want int }{{1, 1}, {3, 4}, {4, 4}, {5, 8}} {
+		if got := len(newSPSCRing(tt.depth).buf); got != tt.want {
+			t.Errorf("depth %d: ring size %d, want %d", tt.depth, got, tt.want)
+		}
+	}
+}
+
+// TestPipelineShardAssignment confirms every activated port maps to exactly
+// one shard and inactive ports are dropped.
+func TestPipelineShardAssignment(t *testing.T) {
+	ports := []int{0, 1, 2, 3, 4}
+	sys, err := New(testConfig(ports...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := NewPipeline(sys, PipelineConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	if len(pl.shards) != 2 {
+		t.Fatalf("shards = %d, want 2", len(pl.shards))
+	}
+	seen := map[*shard]int{}
+	for _, port := range ports {
+		sh := pl.shardOf[port]
+		if sh == nil {
+			t.Fatalf("port %d unassigned", port)
+		}
+		seen[sh]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("ports landed on %d shards, want 2", len(seen))
+	}
+	// Packets for a port outside the table are ignored without panicking.
+	pl.Ingest(&pktrec.Packet{Port: 99})
+	pl.Ingest(&pktrec.Packet{Port: -1})
+}
+
+// TestPipelineShardDefaults verifies the Shards default never exceeds the
+// port count.
+func TestPipelineShardDefaults(t *testing.T) {
+	var cfg PipelineConfig
+	cfg.normalize(3)
+	if cfg.Shards < 1 || cfg.Shards > 3 {
+		t.Fatalf("default shards = %d, want in [1,3]", cfg.Shards)
+	}
+	if cfg.BatchSize != 256 || cfg.RingDepth != 8 || cfg.SnapshotQueue != 6 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	cfg = PipelineConfig{Shards: 100}
+	cfg.normalize(4)
+	if cfg.Shards != 4 {
+		t.Fatalf("shards clamped to %d, want 4", cfg.Shards)
+	}
+}

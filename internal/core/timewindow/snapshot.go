@@ -1,6 +1,8 @@
 package timewindow
 
 import (
+	"sync"
+
 	"printqueue/internal/flow"
 )
 
@@ -42,7 +44,11 @@ type Filtered struct {
 	// period retained in window i; window i retains TTS range
 	// (anchorTTS[i] - 2^k, anchorTTS[i]].
 	anchorTTS []uint64
-	empty     bool
+	// coeff caches cfg.Coefficients(): a Filtered is queried many times
+	// (once per checkpoint per interval query), the coefficients never
+	// change.
+	coeff []float64
+	empty bool
 }
 
 // Filter implements Algorithm 3. It walks the windows from the most recent
@@ -55,6 +61,7 @@ func (s *Snapshot) Filter() *Filtered {
 		cfg:       s.cfg,
 		windows:   make([][]Cell, s.cfg.T),
 		anchorTTS: make([]uint64, s.cfg.T),
+		coeff:     s.cfg.Coefficients(),
 	}
 	tts, ok := s.latestCell()
 	if !ok {
@@ -155,7 +162,19 @@ func (f *Filtered) RawWindowCounts(start, end uint64) []flow.Counts {
 // (victim residence interval) and indirect-culprit queries (regime
 // interval); the two differ only in the interval supplied.
 func (f *Filtered) Query(start, end uint64) flow.Counts {
-	return f.query(start, end, f.cfg.Coefficients())
+	total := make(flow.Counts)
+	f.queryInto(total, start, end, f.coeff)
+	return total
+}
+
+// QueryInto accumulates the [start, end) estimate into dst instead of
+// allocating a fresh result map. The control plane aggregates one query
+// across every checkpoint covering the interval; accumulating directly
+// avoids a per-checkpoint Counts allocation and merge. The arithmetic is
+// identical to Query (per-window integer counts divided once by the window
+// coefficient, windows visited in order), so results are bit-equal.
+func (f *Filtered) QueryInto(dst flow.Counts, start, end uint64) {
+	f.queryInto(dst, start, end, f.coeff)
 }
 
 // QueryWithoutCoefficients is the ablation variant that sums raw window
@@ -166,17 +185,42 @@ func (f *Filtered) QueryWithoutCoefficients(start, end uint64) flow.Counts {
 	for i := range ones {
 		ones[i] = 1
 	}
-	return f.query(start, end, ones)
+	total := make(flow.Counts)
+	f.queryInto(total, start, end, ones)
+	return total
 }
 
-func (f *Filtered) query(start, end uint64, coeff []float64) flow.Counts {
-	total := make(flow.Counts)
-	for i, counts := range f.RawWindowCounts(start, end) {
-		for fl, n := range counts {
-			total.Add(fl, n/coeff[i])
+// scratchPool recycles the per-window integer count maps used by queryInto,
+// so steady-state query execution stops allocating one map per window per
+// checkpoint.
+var scratchPool = sync.Pool{
+	New: func() any { return make(map[flow.Key]int, 64) },
+}
+
+func (f *Filtered) queryInto(dst flow.Counts, start, end uint64, coeff []float64) {
+	if f.empty || end <= start {
+		return
+	}
+	scratch := scratchPool.Get().(map[flow.Key]int)
+	for i := 0; i < f.cfg.T; i++ {
+		for j, c := range f.windows[i] {
+			if !c.Valid {
+				continue
+			}
+			lo, hi := f.cellSpan(i, c.CycleID, j)
+			if lo < end && hi > start {
+				scratch[c.Flow]++
+			}
+		}
+		if len(scratch) > 0 {
+			ci := coeff[i]
+			for fl, n := range scratch {
+				dst.Add(fl, float64(n)/ci)
+			}
+			clear(scratch)
 		}
 	}
-	return total
+	scratchPool.Put(scratch)
 }
 
 // QueryWindow estimates per-flow counts using only window i — the paper's
@@ -187,7 +231,7 @@ func (f *Filtered) QueryWindow(i int, start, end uint64) flow.Counts {
 	if f.empty || end <= start || i < 0 || i >= f.cfg.T {
 		return out
 	}
-	coeff := f.cfg.Coefficients()[i]
+	coeff := f.coeff[i]
 	for j, c := range f.windows[i] {
 		if !c.Valid {
 			continue

@@ -23,6 +23,14 @@ type Windows struct {
 	cfg     Config
 	windows [][]Cell // T slices of 2^k cells
 
+	// Hot-path constants hoisted out of Insert's per-window loop: every
+	// packet walks up to T windows, so the mask/shift values are computed
+	// once at construction instead of being re-derived from cfg per window.
+	m0    uint
+	k     uint
+	alpha uint
+	kMask uint64
+
 	inserted uint64   // packets inserted since construction
 	passes   []uint64 // passes[i]: packets passed from window i to i+1
 }
@@ -50,7 +58,15 @@ func New(cfg Config, storage [][]Cell) (*Windows, error) {
 			return nil, errStorage(cfg, len(storage[i]))
 		}
 	}
-	return &Windows{cfg: cfg, windows: storage, passes: make([]uint64, cfg.T)}, nil
+	return &Windows{
+		cfg:     cfg,
+		windows: storage,
+		m0:      cfg.M0,
+		k:       cfg.K,
+		alpha:   cfg.Alpha,
+		kMask:   uint64(cfg.Cells() - 1),
+		passes:  make([]uint64, cfg.T),
+	}, nil
 }
 
 func errStorage(cfg Config, got int) error {
@@ -100,13 +116,15 @@ func (w *Windows) Passes() []uint64 {
 // the window period immediately following the evicted packet's arrival).
 func (w *Windows) Insert(f flow.Key, deqTS uint64) {
 	w.inserted++
-	tts := w.cfg.TTS(deqTS)
-	kMask := uint64(w.cfg.Cells() - 1)
-	for i := 0; i < w.cfg.T; i++ {
+	tts := deqTS >> w.m0
+	kMask, k, alpha := w.kMask, w.k, w.alpha
+	windows := w.windows
+	for i := 0; i < len(windows); i++ {
+		cells := windows[i]
 		idx := int(tts & kMask)
-		cycle := tts >> w.cfg.K
-		evicted := w.windows[i][idx]
-		w.windows[i][idx] = Cell{Flow: f, CycleID: cycle, Valid: true}
+		cycle := tts >> k
+		evicted := cells[idx]
+		cells[idx] = Cell{Flow: f, CycleID: cycle, Valid: true}
 		if !evicted.Valid || cycle != evicted.CycleID+1 {
 			// Either nothing to pass, a same-cycle collision (drop the
 			// evicted record), or a record too far in the past (deleted
@@ -114,13 +132,13 @@ func (w *Windows) Insert(f flow.Key, deqTS uint64) {
 			return
 		}
 		// Pass the evicted packet to the next window as a new input.
-		if i+1 < w.cfg.T {
+		if i+1 < len(windows) {
 			w.passes[i]++
 		}
 		f = evicted.Flow
 		// The evicted packet's own TTS in this window is (cycle-1)<<k | idx;
 		// shifting it right by alpha gives its position in the next window.
-		tts = (evicted.CycleID<<w.cfg.K | uint64(idx)) >> w.cfg.Alpha
+		tts = (evicted.CycleID<<k | uint64(idx)) >> alpha
 	}
 }
 
@@ -149,11 +167,17 @@ func (w *Windows) InsertAblationAlwaysPass(f flow.Key, deqTS uint64) {
 // Snapshot copies the current register contents into an immutable Snapshot
 // for query execution. It models one frozen register read of the whole set
 // and returns the number of register entries copied (for I/O accounting).
+// The copy lands in one contiguous backing array (two allocations instead
+// of T+1), which matters once snapshots run on the background checkpoint
+// goroutine at every flip.
 func (w *Windows) Snapshot() *Snapshot {
+	per := w.cfg.Cells()
+	flat := make([]Cell, w.cfg.T*per)
 	cells := make([][]Cell, w.cfg.T)
 	for i := range cells {
-		cells[i] = make([]Cell, len(w.windows[i]))
-		copy(cells[i], w.windows[i])
+		dst := flat[i*per : (i+1)*per : (i+1)*per]
+		copy(dst, w.windows[i])
+		cells[i] = dst
 	}
 	return &Snapshot{cfg: w.cfg, windows: cells}
 }

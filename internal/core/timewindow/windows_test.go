@@ -256,3 +256,34 @@ func TestAblationAlwaysPass(t *testing.T) {
 		t.Fatal("always-pass ablation passed nothing; expected stale promotions")
 	}
 }
+
+// TestInsertNoAllocs asserts the steady-state packet path allocates nothing:
+// Insert touches only preallocated register cells, so the per-packet cost is
+// pure arithmetic plus stores — the property the ingestion pipeline's
+// throughput depends on.
+func TestInsertNoAllocs(t *testing.T) {
+	cfg := Config{M0: 6, K: 12, Alpha: 2, T: 4, MinPktTxDelayNs: 80}
+	w, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]flow.Key, 64)
+	for i := range keys {
+		keys[i] = fkey(uint32(i))
+	}
+	var ts uint64
+	// Warm up past the first cycle so inserts exercise eviction/passing too.
+	for i := 0; i < 1<<14; i++ {
+		ts += 80
+		w.Insert(keys[i&63], ts)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		ts += 80
+		w.Insert(keys[i&63], ts)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Insert allocates %.1f objects per packet, want 0", allocs)
+	}
+}

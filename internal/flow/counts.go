@@ -54,8 +54,8 @@ type Entry struct {
 }
 
 // TopK returns the k largest flows by count, descending, ties broken by the
-// flow key's string form for determinism. k <= 0 or k >= len(c) returns all
-// flows sorted.
+// flow key's field order (Key.Compare) for determinism. k <= 0 or
+// k >= len(c) returns all flows sorted.
 func (c Counts) TopK(k int) []Entry {
 	entries := make([]Entry, 0, len(c))
 	for f, n := range c {
@@ -65,7 +65,7 @@ func (c Counts) TopK(k int) []Entry {
 		if entries[i].Count != entries[j].Count {
 			return entries[i].Count > entries[j].Count
 		}
-		return entries[i].Flow.String() < entries[j].Flow.String()
+		return entries[i].Flow.Compare(entries[j].Flow) < 0
 	})
 	if k > 0 && k < len(entries) {
 		entries = entries[:k]

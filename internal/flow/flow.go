@@ -5,6 +5,7 @@
 package flow
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"net/netip"
@@ -77,6 +78,38 @@ func (k Key) Reverse() Key {
 		DstPort: k.SrcPort,
 		Proto:   k.Proto,
 	}
+}
+
+// Compare orders keys by (SrcIP, DstIP, SrcPort, DstPort, Proto) — the
+// same field order as the wire encoding. It is the deterministic tie-break
+// used by ranked reports; unlike comparing String() renderings it performs
+// no allocation, so sort comparators can call it per comparison.
+func (k Key) Compare(o Key) int {
+	if c := bytes.Compare(k.SrcIP[:], o.SrcIP[:]); c != 0 {
+		return c
+	}
+	if c := bytes.Compare(k.DstIP[:], o.DstIP[:]); c != 0 {
+		return c
+	}
+	if k.SrcPort != o.SrcPort {
+		if k.SrcPort < o.SrcPort {
+			return -1
+		}
+		return 1
+	}
+	if k.DstPort != o.DstPort {
+		if k.DstPort < o.DstPort {
+			return -1
+		}
+		return 1
+	}
+	if k.Proto != o.Proto {
+		if k.Proto < o.Proto {
+			return -1
+		}
+		return 1
+	}
+	return 0
 }
 
 // String renders the key as "src:sport>dst:dport/proto".

@@ -390,13 +390,14 @@ func (s *System) Stats() Stats {
 }
 
 // SortCulprits ranks a slice of culprits in place, largest first with
-// deterministic tie-breaking.
+// deterministic tie-breaking on the raw flow fields (no per-comparison
+// string rendering).
 func SortCulprits(cs []Culprit) {
 	sort.Slice(cs, func(i, j int) bool {
 		if cs[i].Packets != cs[j].Packets {
 			return cs[i].Packets > cs[j].Packets
 		}
-		return cs[i].Flow.String() < cs[j].Flow.String()
+		return cs[i].Flow.internal().Compare(cs[j].Flow.internal()) < 0
 	})
 }
 
