@@ -11,6 +11,7 @@
 //	pqsim -save-log run.pqgt                   # dump the telemetry log
 //	pqsim -serve 127.0.0.1:7171                # host the TCP query API
 //	                                           # (diagnose with cmd/pqquery)
+//	pqsim -ops 127.0.0.1:9090                  # ops endpoint: curl /metrics
 package main
 
 import (
@@ -43,6 +44,7 @@ var (
 	origFlag  = flag.Bool("original", true, "also query original culprits (queue monitor)")
 	saveLog   = flag.String("save-log", "", "write the telemetry (ground-truth) log to this file")
 	serveAddr = flag.String("serve", "", "after the run, host the TCP query API on this address until interrupted")
+	opsAddr   = flag.String("ops", "", "host the ops HTTP endpoint (Prometheus /metrics, /healthz, /debug/*) on this address for the whole run")
 )
 
 func main() {
@@ -65,6 +67,15 @@ func main() {
 	}
 	pq.Attach(sw)
 	tlog := sw.AttachLog(0)
+
+	if *opsAddr != "" {
+		ops, err := pq.ServeOps(*opsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ops.Close()
+		fmt.Printf("ops endpoint on http://%s (try /metrics, /debug/pipeline)\n", ops.Addr())
+	}
 
 	for _, p := range pkts {
 		sw.Inject(p)

@@ -1,13 +1,17 @@
 // Remote diagnosis: the paper's Figure-3 architecture end to end. The
 // switch-side process runs the data plane and the analysis program and
-// exposes the TCP query API; a separate "operator" client connects and
-// diagnoses a victim over the wire — the asynchronous-query path a real
-// deployment uses when a customer complains about latency.
+// exposes the TCP query API plus an ops HTTP endpoint; a separate
+// "operator" client connects, diagnoses a victim over the wire, and
+// scrapes the switch's own health metrics — the asynchronous-query path a
+// real deployment uses when a customer complains about latency.
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"log"
+	"net/http"
+	"strings"
 	"time"
 
 	"printqueue"
@@ -53,6 +57,13 @@ func main() {
 	defer svc.Close()
 	fmt.Printf("switch: analysis program serving queries on %s\n", svc.Addr())
 
+	ops, err := pq.ServeOps("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ops.Close()
+	fmt.Printf("switch: ops endpoint on http://%s (curl /metrics)\n", ops.Addr())
+
 	// --- operator side (would normally be another machine) ---
 	client, err := printqueue.DialQueries(svc.Addr())
 	if err != nil {
@@ -89,4 +100,25 @@ func main() {
 
 	p, r := printqueue.Accuracy(report, tlog.DirectTruth(victims[0]))
 	fmt.Printf("\n(remote answers scored against local ground truth: precision %.2f, recall %.2f)\n", p, r)
+
+	// Finally, the operator checks the measurement system itself: scrape
+	// the switch's Prometheus metrics the way a monitoring stack would.
+	resp, err := http.Get("http://" + ops.Addr() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("\noperator: switch self-telemetry (/metrics excerpt):")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "printqueue_checkpoints_total") ||
+			strings.HasPrefix(line, "printqueue_port_packets_total") ||
+			strings.HasPrefix(line, "printqueue_query_latency_ns_count") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -8,14 +8,17 @@ package control
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"printqueue/internal/core/qmonitor"
 	"printqueue/internal/core/registers"
 	"printqueue/internal/core/timewindow"
 	"printqueue/internal/flow"
 	"printqueue/internal/pktrec"
+	"printqueue/internal/telemetry"
 )
 
 // Config configures a PrintQueue deployment on one switch.
@@ -151,15 +154,40 @@ type Stats struct {
 	PacketsObserved int64
 }
 
-// statsCounters is the live, atomically updated form of Stats. The counters
-// are touched from sharded ingestion workers and the background snapshot
-// goroutine concurrently, and read by Stats() at any time.
+// statsCounters is the live, atomically updated form of Stats, registered
+// in the telemetry registry so Stats() and /metrics read the same source.
+// The counters are touched from sharded ingestion workers and the
+// background snapshot goroutine concurrently, and read by Stats() — or a
+// scrape — at any time.
 type statsCounters struct {
-	checkpoints     atomic.Int64
-	specialFreezes  atomic.Int64
-	entriesRead     atomic.Int64
-	infeasibleFlips atomic.Int64
-	dpSuppressed    atomic.Int64
+	checkpoints     *telemetry.Counter
+	specialFreezes  *telemetry.Counter
+	entriesRead     *telemetry.Counter
+	infeasibleFlips *telemetry.Counter
+	dpSuppressed    *telemetry.Counter
+	// freezeRetireNs is the freeze-to-retire latency of checkpoint reads:
+	// from the flip that froze a register set to the checkpoint joining the
+	// query-visible history. Under a Pipeline this spans the snapshot queue
+	// plus the background register copy; in synchronous mode it is the
+	// inline copy alone.
+	freezeRetireNs *telemetry.Histogram
+}
+
+// register binds the counters into a registry under their exported names.
+func (sc *statsCounters) register(reg *telemetry.Registry) {
+	sc.checkpoints = reg.Counter("printqueue_checkpoints_total",
+		"Periodic register freezes taken across all ports.")
+	sc.specialFreezes = reg.Counter("printqueue_special_freezes_total",
+		"Register freezes triggered by data-plane queries.")
+	sc.entriesRead = reg.Counter("printqueue_checkpoint_entries_read_total",
+		"Register entries copied to the control plane by checkpoint reads.")
+	sc.infeasibleFlips = reg.Counter("printqueue_infeasible_flips_total",
+		"Freezes whose read exceeded the poll period or stalled on the snapshotter.")
+	sc.dpSuppressed = reg.Counter("printqueue_dp_suppressed_total",
+		"Data-plane query triggers ignored because a special read was in flight.")
+	sc.freezeRetireNs = reg.Histogram("printqueue_checkpoint_freeze_to_retire_ns",
+		"Latency from freezing a register set to its checkpoint retiring into the history.",
+		telemetry.LatencyBuckets)
 }
 
 type portState struct {
@@ -181,8 +209,9 @@ type portState struct {
 	dpLockedUntil uint64
 
 	// packets counts dequeues observed on this port. Per-port so that each
-	// ingestion worker increments an uncontended counter; Stats() sums them.
-	packets atomic.Int64
+	// ingestion worker increments an uncontended counter; Stats() sums them
+	// and /metrics exports them as printqueue_port_packets_total{port=...}.
+	packets *telemetry.Counter
 
 	// Pending-snapshot bookkeeping for off-hot-path checkpointing: flip
 	// hands the frozen set to the snapshot goroutine and must not write
@@ -210,11 +239,18 @@ type System struct {
 	// avoids a map lookup (the ingress flow-table match, in hardware terms).
 	portTab []*portState
 	stats   statsCounters
+	// telemetry is the system's metric registry: the stats counters, the
+	// pipeline/snapshotter instrumentation, and the query-path metrics all
+	// register here, and the ops server scrapes it.
+	telemetry *telemetry.Registry
 	// snap, when non-nil, is the background checkpoint goroutine: flips
 	// hand frozen register sets to it instead of copying them inline on
 	// the packet path. It is installed by Pipeline and must only change
 	// while no ingestion workers are running.
 	snap *snapshotter
+	// pipe tracks the open Pipeline (if any) for introspection endpoints;
+	// unlike snap it may be read concurrently from HTTP handlers.
+	pipe atomic.Pointer[Pipeline]
 }
 
 // New builds a System. Register arrays are allocated for r(#ports)
@@ -225,10 +261,12 @@ func New(cfg Config) (*System, error) {
 	}
 	qmSlots := len(cfg.Ports) * cfg.QueuesPerPort
 	s := &System{
-		cfg:    cfg,
-		layout: registers.Layout{PortBits: registers.PortBitsFor(len(cfg.Ports)), IndexBits: int(cfg.TW.K)},
-		ports:  make(map[int]*portState, len(cfg.Ports)),
+		cfg:       cfg,
+		layout:    registers.Layout{PortBits: registers.PortBitsFor(len(cfg.Ports)), IndexBits: int(cfg.TW.K)},
+		ports:     make(map[int]*portState, len(cfg.Ports)),
+		telemetry: telemetry.NewRegistry(),
 	}
+	s.stats.register(s.telemetry)
 	s.twFiles = make([]*registers.File[timewindow.Cell], cfg.TW.T)
 	for i := range s.twFiles {
 		s.twFiles[i] = registers.NewFile[timewindow.Cell](s.layout)
@@ -250,6 +288,9 @@ func New(cfg Config) (*System, error) {
 	for rank, port := range cfg.Ports {
 		ps := &portState{id: port, prefix: rank}
 		ps.pendCond = sync.NewCond(&ps.pendMu)
+		ps.packets = s.telemetry.Counter("printqueue_port_packets_total",
+			"Dequeued packets observed per activated port.",
+			telemetry.L("port", strconv.Itoa(port)))
 		for _, sel := range allSets() {
 			storage := make([][]timewindow.Cell, cfg.TW.T)
 			for i := range storage {
@@ -298,9 +339,16 @@ func bitsFor(n int) int {
 // Config returns the system configuration (after normalization).
 func (s *System) Config() Config { return s.cfg }
 
+// Telemetry returns the system's metric registry. Components layered on
+// the system (pipelines, query servers, ops endpoints) register and scrape
+// their instrumentation here, so one /metrics page covers the deployment.
+func (s *System) Telemetry() *telemetry.Registry { return s.telemetry }
+
 // Stats returns a snapshot of the control-plane counters. The counters are
-// atomic, so it is safe to call from any goroutine while traffic is flowing
-// — through the sharded ingestion pipeline or direct OnDequeue calls alike.
+// atomic (and shared with the telemetry registry, so /metrics shows the
+// same values), making this safe to call from any goroutine while traffic
+// is flowing — through the sharded ingestion pipeline or direct OnDequeue
+// calls alike.
 func (s *System) Stats() Stats {
 	st := Stats{
 		Checkpoints:     int(s.stats.checkpoints.Load()),
@@ -473,10 +521,12 @@ func (s *System) flip(ps *portState, now uint64) {
 	if sn := s.snap; sn != nil {
 		ps.waitSetFree(newSel.index(), &s.stats)
 		ps.markPending(oldSel)
-		sn.enqueue(snapJob{ps: ps, sel: oldSel, freezeTime: now, prevFreeze: prevFreeze})
+		sn.enqueue(snapJob{ps: ps, sel: oldSel, freezeTime: now, prevFreeze: prevFreeze, frozenAt: time.Now()})
 	} else {
+		start := time.Now()
 		cp := s.snapshotSet(ps, oldSel, now, prevFreeze, false)
 		ps.retire(cp, s.cfg.MaxCheckpoints)
+		s.stats.freezeRetireNs.Observe(uint64(time.Since(start).Nanoseconds()))
 	}
 	ps.writeSel = newSel
 	ni := newSel.index()
@@ -500,8 +550,10 @@ func (s *System) dataPlaneQuery(ps *portState, p *pktrec.Packet, queue int, now 
 	if s.snap != nil {
 		ps.drainPending()
 	}
+	start := time.Now()
 	cp := s.snapshotSet(ps, ps.writeSel.index(), now, ps.lastFlip, true)
 	ps.retire(cp, s.cfg.MaxCheckpoints)
+	s.stats.freezeRetireNs.Observe(uint64(time.Since(start).Nanoseconds()))
 	s.stats.specialFreezes.Add(1)
 	oldSel := ps.writeSel.index()
 	ps.writeSel = ps.writeSel.toggleDP()

@@ -3,6 +3,9 @@ package control
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"printqueue/internal/telemetry"
 )
 
 // QueryServer serves asynchronous queries concurrently with a running data
@@ -15,12 +18,35 @@ import (
 // any time (the counters are atomic).
 type QueryServer struct {
 	sys *System
+	met queryMetrics
 
 	mu      sync.Mutex
 	started bool
 	reqs    chan queryRequest
 	done    chan struct{}
 	wg      sync.WaitGroup
+}
+
+// queryMetrics instruments the query execution path, per operation.
+// Indexed by QueryKind.
+type queryMetrics struct {
+	latencyNs [2]*telemetry.Histogram
+	errors    [2]*telemetry.Counter
+	inflight  *telemetry.Gauge
+}
+
+func newQueryMetrics(reg *telemetry.Registry) queryMetrics {
+	var m queryMetrics
+	for kind, op := range [2]string{IntervalQuery: "interval", OriginalQuery: "original"} {
+		m.latencyNs[kind] = reg.Histogram("printqueue_query_latency_ns",
+			"Query execution latency over the checkpoint history.",
+			telemetry.LatencyBuckets, telemetry.L("op", op))
+		m.errors[kind] = reg.Counter("printqueue_query_errors_total",
+			"Queries that returned an error.", telemetry.L("op", op))
+	}
+	m.inflight = reg.Gauge("printqueue_query_inflight",
+		"Queries currently executing on the query workers.")
+	return m
 }
 
 // QueryKind distinguishes the two query families of §6.3.
@@ -54,9 +80,10 @@ type queryRequest struct {
 	resp       chan QueryResult
 }
 
-// NewQueryServer builds a server over an existing System.
+// NewQueryServer builds a server over an existing System, registering the
+// query-path metrics in the system's telemetry registry.
 func NewQueryServer(sys *System) *QueryServer {
-	return &QueryServer{sys: sys}
+	return &QueryServer{sys: sys, met: newQueryMetrics(sys.telemetry)}
 }
 
 // Start launches n worker goroutines. It is idempotent until Stop.
@@ -104,6 +131,14 @@ func (q *QueryServer) worker() {
 }
 
 func (q *QueryServer) execute(req queryRequest) QueryResult {
+	if req.kind == IntervalQuery || req.kind == OriginalQuery {
+		q.met.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			q.met.latencyNs[req.kind].Observe(uint64(time.Since(start).Nanoseconds()))
+			q.met.inflight.Add(-1)
+		}()
+	}
 	res := QueryResult{
 		Kind:  req.kind,
 		Port:  req.port,
@@ -116,6 +151,7 @@ func (q *QueryServer) execute(req queryRequest) QueryResult {
 		counts, err := q.sys.QueryInterval(req.port, req.start, req.end)
 		if err != nil {
 			res.Err = err
+			q.met.errors[req.kind].Inc()
 			return res
 		}
 		res.Counts = make(map[string]float64, len(counts))
@@ -126,6 +162,7 @@ func (q *QueryServer) execute(req queryRequest) QueryResult {
 		culprits, err := q.sys.QueryOriginal(req.port, req.queue, req.start)
 		if err != nil {
 			res.Err = err
+			q.met.errors[req.kind].Inc()
 			return res
 		}
 		res.Counts = make(map[string]float64)

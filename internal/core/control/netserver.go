@@ -7,6 +7,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"printqueue/internal/telemetry"
 )
 
 // NetServer exposes the analysis program's queries over TCP — the paper's
@@ -27,6 +31,10 @@ import (
 type NetServer struct {
 	qs *QueryServer
 	ln net.Listener
+
+	connections *telemetry.Counter
+	requests    *telemetry.Counter
+	badRequests *telemetry.Counter
 
 	mu     sync.Mutex
 	closed bool
@@ -57,7 +65,16 @@ func ServeQueries(addr string, qs *QueryServer) (*NetServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &NetServer{qs: qs, ln: ln, conns: make(map[net.Conn]struct{})}
+	reg := qs.sys.telemetry
+	s := &NetServer{
+		qs: qs, ln: ln, conns: make(map[net.Conn]struct{}),
+		connections: reg.Counter("printqueue_netserver_connections_total",
+			"TCP query connections accepted."),
+		requests: reg.Counter("printqueue_netserver_requests_total",
+			"Query requests received over TCP."),
+		badRequests: reg.Counter("printqueue_netserver_bad_requests_total",
+			"TCP query requests rejected as malformed."),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -100,6 +117,7 @@ func (s *NetServer) acceptLoop() {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.connections.Inc()
 		go s.handle(conn)
 	}
 }
@@ -123,9 +141,11 @@ func (s *NetServer) handle(conn net.Conn) {
 		if len(line) == 0 {
 			continue
 		}
+		s.requests.Inc()
 		var req NetRequest
 		resp := NetResponse{}
 		if err := json.Unmarshal(line, &req); err != nil {
+			s.badRequests.Inc()
 			resp.Error = fmt.Sprintf("bad request: %v", err)
 		} else {
 			resp = s.execute(req)
@@ -144,6 +164,7 @@ func (s *NetServer) execute(req NetRequest) NetResponse {
 	case "original":
 		res = s.qs.Original(req.Port, req.Queue, req.At)
 	default:
+		s.badRequests.Inc()
 		return NetResponse{Error: fmt.Sprintf("unknown kind %q", req.Kind)}
 	}
 	if res.Err != nil {
@@ -152,35 +173,79 @@ func (s *NetServer) execute(req NetRequest) NetResponse {
 	return NetResponse{Counts: res.Counts}
 }
 
-// QueryClient is a minimal client for the NetServer protocol.
-type QueryClient struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	enc  *json.Encoder
+// DefaultDialTimeout is the per-round-trip I/O deadline applied when
+// DialOptions.Timeout is zero: long enough for any real query, short enough
+// that a hung QueryService cannot block a diagnosis forever.
+const DefaultDialTimeout = 5 * time.Second
+
+// DialOptions tunes a QueryClient connection.
+type DialOptions struct {
+	// Timeout is the I/O deadline applied to each round trip (write +
+	// read). 0 means DefaultDialTimeout; negative disables deadlines.
+	Timeout time.Duration
+	// Timeouts, if non-nil, is incremented for every round trip that fails
+	// with an I/O timeout — wire it to a telemetry registry's
+	// printqueue_query_client_timeouts_total to fold client-side stalls
+	// into the query error metrics. The client also counts timeouts
+	// internally; see QueryClient.Timeouts.
+	Timeouts *telemetry.Counter
 }
 
-// Dial connects to a NetServer.
+// QueryClient is a minimal client for the NetServer protocol.
+type QueryClient struct {
+	mu         sync.Mutex
+	conn       net.Conn
+	br         *bufio.Reader
+	enc        *json.Encoder
+	timeout    time.Duration
+	timeouts   atomic.Int64
+	timeoutCtr *telemetry.Counter
+}
+
+// Dial connects to a NetServer with default options.
 func Dial(addr string) (*QueryClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialOpts(addr, DialOptions{})
+}
+
+// DialOpts connects to a NetServer with explicit options.
+func DialOpts(addr string, opts DialOptions) (*QueryClient, error) {
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = DefaultDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, max(timeout, 0))
 	if err != nil {
 		return nil, err
 	}
-	return &QueryClient{conn: conn, br: bufio.NewReader(conn), enc: json.NewEncoder(conn)}, nil
+	return &QueryClient{
+		conn:       conn,
+		br:         bufio.NewReader(conn),
+		enc:        json.NewEncoder(conn),
+		timeout:    timeout,
+		timeoutCtr: opts.Timeouts,
+	}, nil
 }
 
 // Close closes the connection.
 func (c *QueryClient) Close() error { return c.conn.Close() }
 
+// Timeouts returns how many round trips have failed with an I/O timeout.
+func (c *QueryClient) Timeouts() int64 { return c.timeouts.Load() }
+
 func (c *QueryClient) roundTrip(req NetRequest) (map[string]float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, err
+		}
+	}
 	if err := c.enc.Encode(req); err != nil {
-		return nil, err
+		return nil, c.noteTimeout(err)
 	}
 	line, err := c.br.ReadBytes('\n')
 	if err != nil {
-		return nil, err
+		return nil, c.noteTimeout(err)
 	}
 	var resp NetResponse
 	if err := json.Unmarshal(line, &resp); err != nil {
@@ -190,6 +255,18 @@ func (c *QueryClient) roundTrip(req NetRequest) (map[string]float64, error) {
 		return nil, errors.New(resp.Error)
 	}
 	return resp.Counts, nil
+}
+
+// noteTimeout counts err if it is an I/O timeout, and passes it through.
+func (c *QueryClient) noteTimeout(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		c.timeouts.Add(1)
+		if c.timeoutCtr != nil {
+			c.timeoutCtr.Inc()
+		}
+	}
+	return err
 }
 
 // Interval queries per-flow packet counts over [start, end) on a port.

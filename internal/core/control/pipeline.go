@@ -3,9 +3,12 @@ package control
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"printqueue/internal/pktrec"
+	"printqueue/internal/telemetry"
 )
 
 // This file implements the sharded ingestion pipeline: the software
@@ -57,10 +60,18 @@ func (c *PipelineConfig) normalize(numPorts int) {
 }
 
 // shard is one worker's input queue plus the producer-side batch being
-// filled for it.
+// filled for it, and the shard's telemetry series. The producer-side
+// metrics (occupancy, backpressure) are updated per batch push, never per
+// packet, so the Ingest hot path stays allocation- and contention-free.
 type shard struct {
 	ring *spscRing
 	cur  *packetBatch
+
+	occupancy      *telemetry.Gauge   // ring batches queued, sampled at push/pop
+	highWater      *telemetry.Gauge   // max occupancy seen
+	backpressureNs *telemetry.Counter // ns the producer spent blocked on a full ring
+	batches        *telemetry.Counter // batches processed by the worker
+	packets        *telemetry.Counter // packets processed by the worker
 }
 
 // Pipeline drives a System through sharded, batched ingestion. Ingest must
@@ -77,6 +88,7 @@ type Pipeline struct {
 	pool    sync.Pool
 	wg      sync.WaitGroup
 	closed  bool
+	flushes *telemetry.Counter
 }
 
 // NewPipeline builds and starts a pipeline over a System. The System must
@@ -91,9 +103,25 @@ func NewPipeline(sys *System, cfg PipelineConfig) (*Pipeline, error) {
 	pl.pool.New = func() any {
 		return &packetBatch{pkts: make([]pktrec.Packet, 0, cfg.BatchSize)}
 	}
+	reg := sys.telemetry
+	pl.flushes = reg.Counter("printqueue_pipeline_flushes_total",
+		"Explicit flushes of partially filled ingestion batches.")
 	pl.shards = make([]*shard, cfg.Shards)
 	for i := range pl.shards {
-		pl.shards[i] = &shard{ring: newSPSCRing(cfg.RingDepth)}
+		id := telemetry.L("shard", strconv.Itoa(i))
+		pl.shards[i] = &shard{
+			ring: newSPSCRing(cfg.RingDepth),
+			occupancy: reg.Gauge("printqueue_pipeline_shard_ring_occupancy",
+				"Batches queued in the shard's ingestion ring.", id),
+			highWater: reg.Gauge("printqueue_pipeline_shard_ring_high_watermark",
+				"Highest ring occupancy observed since the system started.", id),
+			backpressureNs: reg.Counter("printqueue_pipeline_backpressure_wait_ns_total",
+				"Nanoseconds the ingestion producer spent blocked on a full shard ring.", id),
+			batches: reg.Counter("printqueue_pipeline_batches_total",
+				"Packet batches processed by the shard worker.", id),
+			packets: reg.Counter("printqueue_pipeline_packets_total",
+				"Packets processed by the shard worker.", id),
+		}
 	}
 	pl.shardOf = make([]*shard, len(sys.portTab))
 	for rank, port := range sys.cfg.Ports {
@@ -103,7 +131,21 @@ func NewPipeline(sys *System, cfg PipelineConfig) (*Pipeline, error) {
 		pl.wg.Add(1)
 		go pl.worker(sh)
 	}
+	sys.pipe.Store(pl)
 	return pl, nil
+}
+
+// pushBatch hands a filled batch to the shard ring and samples the
+// producer-side metrics: occupancy (with its high-watermark) and any
+// backpressure stall the push suffered.
+func (pl *Pipeline) pushBatch(sh *shard, b *packetBatch) {
+	waited, _ := sh.ring.push(b)
+	if waited > 0 {
+		sh.backpressureNs.Add(waited)
+	}
+	occ := sh.ring.len()
+	sh.occupancy.Set(occ)
+	sh.highWater.Max(occ)
 }
 
 // Ingest hands one dequeued packet to its port's shard. The packet is
@@ -124,7 +166,7 @@ func (pl *Pipeline) Ingest(p *pktrec.Packet) {
 	}
 	b.pkts = append(b.pkts, *p)
 	if len(b.pkts) == cap(b.pkts) {
-		sh.ring.push(b)
+		pl.pushBatch(sh, b)
 		sh.cur = nil
 	}
 }
@@ -132,9 +174,10 @@ func (pl *Pipeline) Ingest(p *pktrec.Packet) {
 // Flush pushes every partially filled batch to its shard so the workers see
 // all packets ingested so far. It does not wait for them to be processed.
 func (pl *Pipeline) Flush() {
+	pl.flushes.Inc()
 	for _, sh := range pl.shards {
 		if sh.cur != nil && len(sh.cur.pkts) > 0 {
-			sh.ring.push(sh.cur)
+			pl.pushBatch(sh, sh.cur)
 			sh.cur = nil
 		}
 	}
@@ -155,6 +198,7 @@ func (pl *Pipeline) Close() {
 	}
 	pl.wg.Wait()
 	pl.sys.stopSnapshotter()
+	pl.sys.pipe.CompareAndSwap(pl, nil)
 }
 
 // worker is one shard's ingestion goroutine: it owns its ports exclusively,
@@ -168,9 +212,12 @@ func (pl *Pipeline) worker(sh *shard) {
 		if !ok {
 			return
 		}
+		sh.occupancy.Set(sh.ring.len())
 		for i := range b.pkts {
 			sys.OnDequeue(&b.pkts[i])
 		}
+		sh.batches.Inc()
+		sh.packets.Add(int64(len(b.pkts)))
 		b.pkts = b.pkts[:0]
 		pl.pool.Put(b)
 	}
@@ -183,6 +230,10 @@ type snapJob struct {
 	sel        int
 	freezeTime uint64
 	prevFreeze uint64
+	// frozenAt is the wall-clock instant of the flip, for the
+	// freeze-to-retire latency histogram: queueing delay behind earlier
+	// jobs plus the register copy itself.
+	frozenAt time.Time
 }
 
 // snapshotter is the background checkpoint goroutine. A single goroutine
@@ -228,5 +279,6 @@ func (sn *snapshotter) run() {
 		cp := sn.sys.snapshotSet(job.ps, job.sel, job.freezeTime, job.prevFreeze, false)
 		job.ps.retire(cp, sn.sys.cfg.MaxCheckpoints)
 		job.ps.clearPending(job.sel)
+		sn.sys.stats.freezeRetireNs.Observe(uint64(time.Since(job.frozenAt).Nanoseconds()))
 	}
 }

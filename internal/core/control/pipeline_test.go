@@ -270,7 +270,7 @@ func TestSPSCRing(t *testing.T) {
 	}()
 	for i := 0; i < n; i++ {
 		b := &packetBatch{pkts: []pktrec.Packet{{Arrival: uint64(i)}}}
-		if !r.push(b) {
+		if _, ok := r.push(b); !ok {
 			t.Fatal("push failed on open ring")
 		}
 	}
@@ -284,7 +284,7 @@ func TestSPSCRing(t *testing.T) {
 			t.Fatalf("batch %d out of order: got %d", i, v)
 		}
 	}
-	if r.push(&packetBatch{}) {
+	if _, ok := r.push(&packetBatch{}); ok {
 		t.Fatal("push succeeded on closed ring")
 	}
 	if _, ok := r.pop(); ok {

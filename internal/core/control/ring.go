@@ -2,6 +2,7 @@ package control
 
 import (
 	"sync/atomic"
+	"time"
 
 	"printqueue/internal/pktrec"
 )
@@ -57,22 +58,35 @@ func wake(c chan struct{}) {
 }
 
 // push enqueues a batch, blocking while the ring is full (backpressure onto
-// the producer). It returns false if the ring was closed.
-func (r *spscRing) push(b *packetBatch) bool {
+// the producer). It returns ok=false if the ring was closed, and the
+// nanoseconds the producer spent blocked — 0 on the uncontended fast path,
+// where no clock is read.
+func (r *spscRing) push(b *packetBatch) (waitedNs int64, ok bool) {
+	var blockedAt time.Time
 	for {
 		if r.closed.Load() {
-			return false
+			return waitedNs, false
 		}
 		t, h := r.tail.Load(), r.head.Load()
 		if t-h < uint64(len(r.buf)) {
 			r.buf[t&r.mask] = b
 			r.tail.Store(t + 1)
 			wake(r.notEmpty)
-			return true
+			if !blockedAt.IsZero() {
+				waitedNs = time.Since(blockedAt).Nanoseconds()
+			}
+			return waitedNs, true
+		}
+		if blockedAt.IsZero() {
+			blockedAt = time.Now()
 		}
 		<-r.notFull
 	}
 }
+
+// len returns the number of batches currently queued. Racy by nature (both
+// ends keep moving); good enough for an occupancy gauge.
+func (r *spscRing) len() int64 { return int64(r.tail.Load() - r.head.Load()) }
 
 // pop dequeues the next batch, blocking while the ring is empty. It returns
 // ok=false once the ring is closed and drained.

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bufio"
+	"expvar"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file renders a Registry for consumption: Prometheus text exposition
+// (format version 0.0.4, hand-rolled — the format is line-oriented and
+// stable, and the module takes no dependencies) and an expvar snapshot for
+// /debug/vars.
+
+// WritePrometheus writes every family in registration order. Values are
+// read with atomic loads while traffic keeps flowing; a scrape sees each
+// series at some instant, not a consistent cut — the standard Prometheus
+// contract.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.snapshotFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(fam.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.typ.String())
+		bw.WriteByte('\n')
+		for _, sr := range fam.series {
+			switch fam.typ {
+			case counterType:
+				writeSample(bw, fam.name, "", sr.labels, "", sr.c.Load())
+			case gaugeType:
+				writeSample(bw, fam.name, "", sr.labels, "", sr.g.Load())
+			case histogramType:
+				writeHistogram(bw, fam.name, sr)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// snapshotFamilies copies the family/series structure under the lock so
+// exposition never races registration. The metric values themselves are
+// atomics and are read lock-free afterwards.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	out := make([]*family, len(fams))
+	for i, fam := range fams {
+		cp := &family{name: fam.name, help: fam.help, typ: fam.typ}
+		cp.series = make([]*series, len(fam.series))
+		copy(cp.series, fam.series)
+		out[i] = cp
+	}
+	return out
+}
+
+// writeHistogram emits the cumulative bucket series plus _sum and _count.
+func writeHistogram(bw *bufio.Writer, name string, sr *series) {
+	h := sr.h
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatUint(h.bounds[i], 10)
+		}
+		writeSample(bw, name, "_bucket", sr.labels, le, cum)
+	}
+	writeSample(bw, name, "_sum", sr.labels, "", h.sum.Load())
+	writeSample(bw, name, "_count", sr.labels, "", cum)
+}
+
+// writeSample emits one `name_suffix{labels,le="x"} value` line.
+func writeSample(bw *bufio.Writer, name, suffix string, labels []Label, le string, v int64) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(v, 10))
+	bw.WriteByte('\n')
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Snapshot returns the registry as nested plain values for expvar/JSON:
+// series name (with rendered labels) -> number, or for histograms a map
+// with count, sum, and per-upper-bound bucket counts.
+func (r *Registry) Snapshot() map[string]any {
+	out := make(map[string]any)
+	for _, fam := range r.snapshotFamilies() {
+		for _, sr := range fam.series {
+			key := fam.name
+			if len(sr.labels) > 0 {
+				parts := make([]string, len(sr.labels))
+				for i, l := range sr.labels {
+					parts[i] = l.Key + "=" + l.Value
+				}
+				key += "{" + strings.Join(parts, ",") + "}"
+			}
+			switch fam.typ {
+			case counterType:
+				out[key] = sr.c.Load()
+			case gaugeType:
+				out[key] = sr.g.Load()
+			case histogramType:
+				h := sr.h
+				buckets := make(map[string]int64, len(h.counts))
+				for i := range h.counts {
+					le := "+Inf"
+					if i < len(h.bounds) {
+						le = strconv.FormatUint(h.bounds[i], 10)
+					}
+					buckets[le] = h.counts[i].Load()
+				}
+				out[key] = map[string]any{
+					"count":   h.Count(),
+					"sum":     h.sum.Load(),
+					"buckets": buckets,
+				}
+			}
+		}
+	}
+	return out
+}
+
+var expvarMu sync.Mutex
+
+// PublishExpvar exposes the registry's Snapshot under the given expvar
+// name. expvar is process-global and rejects duplicate names by panicking,
+// so the first registry published under a name wins and later calls are
+// no-ops — one System per process is the expected deployment; tests
+// spinning up many Systems share the first one's /debug/vars entry.
+func (r *Registry) PublishExpvar(name string) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Server is the ops HTTP endpoint: the out-of-band window into a running
+// PrintQueue deployment (the in-band window being the data-plane structures
+// themselves). It serves:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/healthz        liveness probe ("ok")
+//	/debug/vars     expvar JSON (includes the registry snapshot)
+//	/debug/pprof/*  Go runtime profiles
+//
+// plus any JSON introspection endpoints installed with HandleJSON.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+	mux *http.ServeMux
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewServer listens on addr (use "127.0.0.1:0" to pick a free port) and
+// serves the registry until Close. The registry is also published to expvar
+// under "printqueue" so /debug/vars carries the same numbers.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	reg.PublishExpvar("printqueue")
+	mux := http.NewServeMux()
+	s := &Server{reg: reg, ln: ln, mux: mux}
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/healthz", serveHealthz)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// HandleJSON installs an introspection endpoint: every GET of path returns
+// fn() marshalled as JSON. fn must be safe to call concurrently with the
+// instrumented system running. http.ServeMux is safe for registration
+// while serving, so handlers may be added after NewServer returns.
+func (s *Server) HandleJSON(path string, fn func() any) {
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fn()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// Addr returns the listening address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and open connections. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.srv.Close() })
+	return s.closeErr
+}
+
+func (s *Server) serveMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+func serveHealthz(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}

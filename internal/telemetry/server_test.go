@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv_hits_total", "Hits.").Add(12)
+	s, err := NewServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.HandleJSON("/debug/pipeline", func() any {
+		return map[string]int{"shards": 3}
+	})
+	base := "http://" + s.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/metrics"); code != 200 || !strings.Contains(body, "srv_hits_total 12") {
+		t.Errorf("/metrics = %d, missing counter sample:\n%s", code, body)
+	}
+	code, body := get(t, base+"/debug/vars")
+	if code != 200 {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not a JSON object: %v", err)
+	}
+	if code, body := get(t, base+"/debug/pipeline"); code != 200 || !strings.Contains(body, `"shards": 3`) {
+		t.Errorf("/debug/pipeline = %d %q", code, body)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

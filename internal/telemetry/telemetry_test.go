@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusExposition pins the exposition format byte-for-byte: family
+// ordering (registration order), HELP/TYPE headers, label rendering, and
+// cumulative histogram buckets with _sum/_count.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pq_requests_total", "Total requests.", L("op", "get")).Add(3)
+	r.Counter("pq_requests_total", "Total requests.", L("op", "put")).Inc()
+	r.Gauge("pq_depth", "Current depth.").Set(7)
+	h := r.Histogram("pq_latency_ns", "Request latency.", []uint64{1000, 1000000})
+	h.Observe(500)       // first bucket
+	h.Observe(1000)      // upper bounds are inclusive: still the first bucket
+	h.Observe(2000)      // second bucket
+	h.Observe(5_000_000) // overflow (+Inf)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP pq_requests_total Total requests.
+# TYPE pq_requests_total counter
+pq_requests_total{op="get"} 3
+pq_requests_total{op="put"} 1
+# HELP pq_depth Current depth.
+# TYPE pq_depth gauge
+pq_depth 7
+# HELP pq_latency_ns Request latency.
+# TYPE pq_latency_ns histogram
+pq_latency_ns_bucket{le="1000"} 2
+pq_latency_ns_bucket{le="1000000"} 3
+pq_latency_ns_bucket{le="+Inf"} 4
+pq_latency_ns_sum 5003500
+pq_latency_ns_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestGetOrCreate verifies that registration is idempotent per (name,
+// labels): the same series pointer comes back, and distinct label sets get
+// distinct series.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "help", L("shard", "0"))
+	b := r.Counter("c_total", "help", L("shard", "0"))
+	c := r.Counter("c_total", "help", L("shard", "1"))
+	if a != b {
+		t.Error("same name+labels returned different counters")
+	}
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+	h1 := r.Histogram("h_ns", "help", []uint64{10, 20})
+	h2 := r.Histogram("h_ns", "help", []uint64{99})
+	if h1 != h2 {
+		t.Error("histogram re-registration did not return the existing series")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("registering one name as two types did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "help")
+	r.Gauge("x", "help")
+}
+
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Max(5)
+	g.Max(3)
+	g.Max(9)
+	if got := g.Load(); got != 9 {
+		t.Errorf("high-watermark = %d, want 9", got)
+	}
+}
+
+// TestConcurrentRecordScrape hammers every metric kind from many
+// goroutines while scraping exposition and snapshots — the -race proof
+// that the record path and the scrape path can overlap a live pipeline.
+func TestConcurrentRecordScrape(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("rc_total", "help", L("w", string(rune('a'+w))))
+			g := r.Gauge("rc_gauge", "help")
+			h := r.Histogram("rc_ns", "help", LatencyBuckets)
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Max(int64(i))
+				h.Observe(uint64(i) * 1700)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Error(err)
+		}
+		_ = r.Snapshot()
+		select {
+		case <-done:
+			// One final scrape after all writers retired must see the totals.
+			h := r.Histogram("rc_ns", "help", LatencyBuckets)
+			if got := h.Count(); got != writers*perWriter {
+				t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+			}
+			return
+		default:
+		}
+	}
+}

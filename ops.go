@@ -1,0 +1,46 @@
+package printqueue
+
+import (
+	"printqueue/internal/telemetry"
+)
+
+// OpsService is a running operations endpoint for one System: the
+// out-of-band observability window PrintQueue's own premise demands — you
+// cannot diagnose what you cannot measure, including the measurement system
+// itself. It serves:
+//
+//	/metrics         Prometheus text exposition (format 0.0.4) of every
+//	                 control-plane metric: checkpoint/freeze counters, the
+//	                 freeze-to-retire latency histogram, per-port packet
+//	                 counts, per-shard ingestion ring occupancy and
+//	                 backpressure, and query latency histograms.
+//	/healthz         liveness probe
+//	/debug/vars      expvar JSON, including the metric registry snapshot
+//	/debug/pipeline  JSON introspection: ports, shard assignment, ring
+//	                 state, live stats
+//	/debug/pprof/*   Go runtime profiles
+//
+// The instrumentation record path is lock-free and allocation-free, so the
+// endpoint can stay attached to a system under full pipeline load; see the
+// "Operations & metrics" section of README.md for the metric reference.
+type OpsService struct {
+	srv *telemetry.Server
+}
+
+// ServeOps starts the ops HTTP endpoint on addr (use "127.0.0.1:0" to pick
+// a free port). Scrapes are safe at any time: while the sharded pipeline
+// runs, while queries execute, and across pipeline restarts.
+func (s *System) ServeOps(addr string) (*OpsService, error) {
+	srv, err := telemetry.NewServer(addr, s.inner.Telemetry())
+	if err != nil {
+		return nil, err
+	}
+	srv.HandleJSON("/debug/pipeline", func() any { return s.inner.Introspect() })
+	return &OpsService{srv: srv}, nil
+}
+
+// Addr returns the endpoint's listening address.
+func (o *OpsService) Addr() string { return o.srv.Addr() }
+
+// Close shuts the endpoint down. Idempotent.
+func (o *OpsService) Close() error { return o.srv.Close() }

@@ -1,6 +1,8 @@
 package printqueue
 
 import (
+	"fmt"
+
 	"printqueue/internal/core/control"
 	"printqueue/internal/pktrec"
 )
@@ -76,13 +78,26 @@ func (p *Pipeline) Observe(pkt Packet, enqTime, deqTime uint64, enqDepthCells in
 // Attach registers the pipeline as the egress hook on every activated port
 // of the switch, replacing the direct System.Attach wiring: dequeued packets
 // flow through the shard rings instead of being processed inline on the
-// switch's dequeue path.
-func (p *Pipeline) Attach(sw *Switch) {
-	for _, port := range p.sys.inner.Config().Ports {
-		if port < sw.inner.Ports() {
-			sw.inner.Port(port).AddEgressHook(pipelineAdapter{p.inner})
+// switch's dequeue path. If any activated port does not exist on the
+// switch, no hooks are installed and the error names every missing port —
+// silently monitoring only a subset would corrupt any diagnosis that
+// assumed full coverage.
+func (p *Pipeline) Attach(sw *Switch) error {
+	ports := p.sys.inner.Config().Ports
+	var missing []int
+	for _, port := range ports {
+		if port >= sw.inner.Ports() {
+			missing = append(missing, port)
 		}
 	}
+	if len(missing) > 0 {
+		return fmt.Errorf("printqueue: activated ports %v not present on switch (switch has ports 0-%d)",
+			missing, sw.inner.Ports()-1)
+	}
+	for _, port := range ports {
+		sw.inner.Port(port).AddEgressHook(pipelineAdapter{p.inner})
+	}
+	return nil
 }
 
 type pipelineAdapter struct{ pl *control.Pipeline }

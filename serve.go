@@ -1,6 +1,8 @@
 package printqueue
 
 import (
+	"time"
+
 	"printqueue/internal/core/control"
 )
 
@@ -37,14 +39,28 @@ func (q *QueryService) Close() error {
 	return err
 }
 
-// QueryClient talks to a QueryService over TCP.
+// QueryClient talks to a QueryService over TCP. Every round trip carries
+// an I/O deadline (default 5s) so a hung or partitioned QueryService fails
+// a diagnosis quickly instead of blocking it forever.
 type QueryClient struct {
 	inner *control.QueryClient
 }
 
-// DialQueries connects to a QueryService.
+// DialOptions tunes a QueryClient connection.
+type DialOptions struct {
+	// Timeout is the per-round-trip I/O deadline. 0 means the 5s default;
+	// negative disables deadlines entirely.
+	Timeout time.Duration
+}
+
+// DialQueries connects to a QueryService with default options.
 func DialQueries(addr string) (*QueryClient, error) {
-	inner, err := control.Dial(addr)
+	return DialQueriesOpts(addr, DialOptions{})
+}
+
+// DialQueriesOpts connects to a QueryService with explicit options.
+func DialQueriesOpts(addr string, opts DialOptions) (*QueryClient, error) {
+	inner, err := control.DialOpts(addr, control.DialOptions{Timeout: opts.Timeout})
 	if err != nil {
 		return nil, err
 	}
@@ -53,6 +69,11 @@ func DialQueries(addr string) (*QueryClient, error) {
 
 // Close closes the connection.
 func (c *QueryClient) Close() error { return c.inner.Close() }
+
+// Timeouts returns how many of this client's round trips have failed with
+// an I/O timeout. The server-side view of query health lives on the ops
+// endpoint (printqueue_query_* metrics).
+func (c *QueryClient) Timeouts() int64 { return c.inner.Timeouts() }
 
 // reportFromWire converts a wire response into a Report.
 func reportFromWire(counts map[string]float64) (Report, error) {
