@@ -52,7 +52,26 @@ type Config struct {
 	// MaxCheckpoints bounds the retained checkpoint history per port
 	// (0 = unlimited). Older checkpoints are discarded FIFO.
 	MaxCheckpoints int
+	// QueryPath selects the interval-query implementation. The default
+	// (QueryPathIndexed) prunes the checkpoint run by coverage and
+	// binary-searches each checkpoint's sorted cell index; QueryPathScan is
+	// the reference linear scan retained for ablation and differential
+	// testing. Results are bit-identical between the two.
+	QueryPath QueryPath
 }
+
+// QueryPath selects how interval queries walk the checkpoint history.
+type QueryPath int
+
+const (
+	// QueryPathIndexed binary-searches the overlapping checkpoint run and,
+	// within each checkpoint, the overlapping cell range per window.
+	QueryPathIndexed QueryPath = iota
+	// QueryPathScan visits every cell of every window of every retained
+	// checkpoint — the pre-index behavior, kept as the reference
+	// implementation.
+	QueryPathScan
+)
 
 func (c *Config) normalize() error {
 	if err := c.TW.Validate(); err != nil {
@@ -120,13 +139,22 @@ type Checkpoint struct {
 
 	filterOnce sync.Once
 	filtered   *timewindow.Filtered // lazy Algorithm-3 result
+	// indexNs, when set (by snapshotSet), receives the one-time cost of the
+	// Algorithm-3 filter plus cell-index build.
+	indexNs *telemetry.Histogram
 }
 
-// Filtered returns the checkpoint's time windows with Algorithm 3 applied,
-// computing it on first use. It is safe for concurrent use, so query
-// goroutines may share checkpoints.
+// Filtered returns the checkpoint's time windows with Algorithm 3 applied
+// and the per-window cell index built, computing both on first use. It is
+// safe for concurrent use, so query goroutines may share checkpoints.
 func (c *Checkpoint) Filtered() *timewindow.Filtered {
-	c.filterOnce.Do(func() { c.filtered = c.TW.Filter() })
+	c.filterOnce.Do(func() {
+		start := time.Now()
+		c.filtered = c.TW.Filter()
+		if c.indexNs != nil {
+			c.indexNs.Observe(uint64(time.Since(start).Nanoseconds()))
+		}
+	})
 	return c.filtered
 }
 
@@ -190,6 +218,32 @@ func (sc *statsCounters) register(reg *telemetry.Registry) {
 		telemetry.LatencyBuckets)
 }
 
+// queryPathCounters instruments the interval-query execution path: how much
+// of the checkpoint history pruning eliminated, how many index cells the
+// surviving run touched, the one-time index build cost, and how often a
+// query fanned out across the worker pool.
+type queryPathCounters struct {
+	checkpointsScanned *telemetry.Counter
+	checkpointsPruned  *telemetry.Counter
+	cellsVisited       *telemetry.Counter
+	indexBuildNs       *telemetry.Histogram
+	parallelFanouts    *telemetry.Counter
+}
+
+func (qc *queryPathCounters) register(reg *telemetry.Registry) {
+	qc.checkpointsScanned = reg.Counter("printqueue_query_checkpoints_scanned_total",
+		"Checkpoints an interval query actually executed against.")
+	qc.checkpointsPruned = reg.Counter("printqueue_query_checkpoints_pruned_total",
+		"Checkpoints skipped by the coverage binary search without being touched.")
+	qc.cellsVisited = reg.Counter("printqueue_query_cells_visited_total",
+		"Time-window cells visited by interval queries (index hits, or full walks on the scan path).")
+	qc.indexBuildNs = reg.Histogram("printqueue_query_index_build_ns",
+		"One-time cost of filtering a checkpoint and building its sorted cell index.",
+		telemetry.LatencyBuckets)
+	qc.parallelFanouts = reg.Counter("printqueue_query_parallel_fanouts_total",
+		"Interval queries whose checkpoint run was sharded across query workers.")
+}
+
 type portState struct {
 	id     int
 	prefix int // rank among activated ports; the q-bit register prefix
@@ -224,6 +278,17 @@ type portState struct {
 
 	checkpoints []*Checkpoint
 	dpQueries   []*DPQuery
+	// histGen is bumped (under mu) whenever the history's front is trimmed,
+	// invalidating caches keyed on checkpoint indices.
+	histGen uint64
+
+	// prefixMu guards the memoized qmonitor.Merge prefixes used by
+	// QueryOriginal: qmPrefix[queue][i] is the merge of checkpoints[0..i]'s
+	// queue-q snapshots, valid while prefixGen matches histGen. Appends
+	// extend the cache; front trims reset it via the generation check.
+	prefixMu  sync.Mutex
+	prefixGen uint64
+	qmPrefix  [][]*qmonitor.Snapshot
 }
 
 // System is the per-switch PrintQueue instance: the data-plane structures
@@ -239,6 +304,10 @@ type System struct {
 	// avoids a map lookup (the ingress flow-table match, in hardware terms).
 	portTab []*portState
 	stats   statsCounters
+	qpath   queryPathCounters
+	// twCoeff caches cfg.TW.Coefficients() so query accumulators do not
+	// recompute the recursion per query.
+	twCoeff []float64
 	// telemetry is the system's metric registry: the stats counters, the
 	// pipeline/snapshotter instrumentation, and the query-path metrics all
 	// register here, and the ops server scrapes it.
@@ -267,6 +336,8 @@ func New(cfg Config) (*System, error) {
 		telemetry: telemetry.NewRegistry(),
 	}
 	s.stats.register(s.telemetry)
+	s.qpath.register(s.telemetry)
+	s.twCoeff = cfg.TW.Coefficients()
 	s.twFiles = make([]*registers.File[timewindow.Cell], cfg.TW.T)
 	for i := range s.twFiles {
 		s.twFiles[i] = registers.NewFile[timewindow.Cell](s.layout)
@@ -430,6 +501,7 @@ func (s *System) snapshotSet(ps *portState, sel int, freezeTime, prevFreeze uint
 		Special:    special,
 		TW:         ps.tw[sel].Snapshot(),
 		QM:         make([]*qmonitor.Snapshot, s.cfg.QueuesPerPort),
+		indexNs:    s.qpath.indexBuildNs,
 	}
 	for q := range cp.QM {
 		cp.QM[q] = ps.qm[q][sel].Snapshot()
@@ -438,23 +510,47 @@ func (s *System) snapshotSet(ps *portState, sel int, freezeTime, prevFreeze uint
 	return cp
 }
 
-// retire appends a checkpoint, enforcing the history bound.
+// retire appends a checkpoint, enforcing the history bound. Trimming the
+// front shifts checkpoint indices, so it bumps the history generation and
+// thereby invalidates the QueryOriginal prefix cache.
 func (ps *portState) retire(cp *Checkpoint, max int) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	ps.checkpoints = append(ps.checkpoints, cp)
 	if max > 0 && len(ps.checkpoints) > max {
 		ps.checkpoints = ps.checkpoints[len(ps.checkpoints)-max:]
+		ps.histGen++
 	}
 }
 
 // snapshotCheckpoints returns a stable view of the checkpoint history.
 func (ps *portState) snapshotCheckpoints() []*Checkpoint {
+	cps, _ := ps.snapshotCheckpointsGen()
+	return cps
+}
+
+// snapshotCheckpointsGen additionally returns the history generation the
+// copy was taken at.
+func (ps *portState) snapshotCheckpointsGen() ([]*Checkpoint, uint64) {
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
 	out := make([]*Checkpoint, len(ps.checkpoints))
 	copy(out, ps.checkpoints)
-	return out
+	return out, ps.histGen
+}
+
+// snapshotRun binary-searches the history for the run of checkpoints whose
+// coverage overlaps [start, end) and copies only that run — pruning before
+// the copy, so a narrow query over a deep history never materializes the
+// whole checkpoint list. Also returns the total history length for the
+// pruning counters.
+func (ps *portState) snapshotRun(start, end uint64) (run []*Checkpoint, total int) {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	r := pruneCheckpoints(ps.checkpoints, start, end)
+	out := make([]*Checkpoint, len(r))
+	copy(out, r)
+	return out, len(ps.checkpoints)
 }
 
 // markPending records that register set sel has a frozen read in flight.
@@ -582,7 +678,7 @@ func (s *System) dataPlaneQuery(ps *portState, p *pktrec.Packet, queue int, now 
 	// the whole disjoint-coverage checkpoint chain ending at the special
 	// freeze. The recency advantage of the data-plane query is preserved:
 	// the newest, least-compressed data is in the special set.
-	dq.Result = queryCheckpoints(ps.snapshotCheckpoints(), dq.EnqTS, dq.DeqTS)
+	dq.Result = s.queryCheckpoints(ps.snapshotCheckpoints(), dq.EnqTS, dq.DeqTS)
 	ps.mu.Lock()
 	ps.dpQueries = append(ps.dpQueries, dq)
 	ps.mu.Unlock()
@@ -640,6 +736,18 @@ func (s *System) DPQueries(port int) []*DPQuery {
 // interval is split across the periodic checkpoints covering it (§6.3) and
 // the per-checkpoint results are aggregated.
 func (s *System) QueryInterval(port int, start, end uint64) (flow.Counts, error) {
+	return s.queryIntervalSharded(port, start, end, nil)
+}
+
+// queryIntervalSharded is QueryInterval with optional parallel fan-out:
+// when sem (a semaphore whose capacity is the query-worker count) is
+// non-nil and the pruned checkpoint run is long, the run is split into
+// contiguous shards accumulated concurrently and merged in shard order.
+// Shards that cannot acquire a slot run inline on the caller, so fan-out
+// never blocks on a busy pool. Because the shards produce exact integer
+// accumulators, the result is bit-identical to the serial (and scan) path
+// for any sharding.
+func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan struct{}) (flow.Counts, error) {
 	ps, ok := s.ports[port]
 	if !ok {
 		return nil, fmt.Errorf("control: port %d not activated", port)
@@ -647,8 +755,71 @@ func (s *System) QueryInterval(port int, start, end uint64) (flow.Counts, error)
 	if end <= start {
 		return nil, fmt.Errorf("control: empty query interval [%d, %d)", start, end)
 	}
-	return queryCheckpoints(ps.snapshotCheckpoints(), start, end), nil
+	if s.cfg.QueryPath == QueryPathScan {
+		return s.queryCheckpoints(ps.snapshotCheckpoints(), start, end), nil
+	}
+	run, histLen := ps.snapshotRun(start, end)
+	s.qpath.checkpointsPruned.Add(int64(histLen - len(run)))
+	s.qpath.checkpointsScanned.Add(int64(len(run)))
+	shards := 0
+	if sem != nil {
+		shards = cap(sem)
+	}
+	if shards > len(run) {
+		shards = len(run)
+	}
+	if len(run) < parallelMinRun || shards < 2 {
+		acc := timewindow.NewAccumulator(s.cfg.TW.T, s.twCoeff)
+		s.qpath.cellsVisited.Add(int64(accumulateRun(acc, run, start, end, false)))
+		return acc.Counts(), nil
+	}
+	accs := make([]*timewindow.Accumulator, shards)
+	cells := make([]int, shards)
+	var wg sync.WaitGroup
+	spawned := 0
+	for c := 0; c < shards; c++ {
+		chunk := run[c*len(run)/shards : (c+1)*len(run)/shards]
+		work := func(c int, chunk []*Checkpoint) {
+			acc := timewindow.NewAccumulator(s.cfg.TW.T, s.twCoeff)
+			cells[c] = accumulateRun(acc, chunk, start, end, false)
+			accs[c] = acc
+		}
+		if c == shards-1 {
+			// The caller always takes the last shard itself: progress is
+			// guaranteed even when every pool slot is busy.
+			work(c, chunk)
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			spawned++
+			go func(c int, chunk []*Checkpoint) {
+				defer func() { <-sem; wg.Done() }()
+				work(c, chunk)
+			}(c, chunk)
+		default:
+			work(c, chunk)
+		}
+	}
+	wg.Wait()
+	if spawned > 0 {
+		s.qpath.parallelFanouts.Inc()
+	}
+	total := accs[0]
+	visited := cells[0]
+	for c := 1; c < shards; c++ {
+		total.Merge(accs[c])
+		visited += cells[c]
+	}
+	s.qpath.cellsVisited.Add(int64(visited))
+	return total.Counts(), nil
 }
+
+// parallelMinRun is the smallest pruned checkpoint run worth sharding
+// across query workers; below it goroutine handoff costs more than the
+// accumulation it parallelizes.
+const parallelMinRun = 8
 
 // queryCheckpoints splits [start, end) across the checkpoints' disjoint
 // coverages and aggregates the per-checkpoint estimates. Both periodic and
@@ -656,9 +827,28 @@ func (s *System) QueryInterval(port int, start, end uint64) (flow.Counts, error)
 // periodically polled registers and special registers do not overlap,
 // because [a] packet at any time point would belong to only one register
 // set" (§6.2). PrevFreeze chaining keeps the coverages disjoint.
-func queryCheckpoints(cps []*Checkpoint, start, end uint64) flow.Counts {
-	total := make(flow.Counts)
-	for _, cp := range cps {
+//
+// On the default indexed path the disjoint, sorted coverages are
+// binary-searched for the overlapping run; the scan path walks the whole
+// history. The two are bit-identical (shared integer accumulator).
+func (s *System) queryCheckpoints(cps []*Checkpoint, start, end uint64) flow.Counts {
+	acc := timewindow.NewAccumulator(s.cfg.TW.T, s.twCoeff)
+	run := cps
+	scan := s.cfg.QueryPath == QueryPathScan
+	if !scan {
+		run = pruneCheckpoints(cps, start, end)
+		s.qpath.checkpointsPruned.Add(int64(len(cps) - len(run)))
+	}
+	s.qpath.checkpointsScanned.Add(int64(len(run)))
+	s.qpath.cellsVisited.Add(int64(accumulateRun(acc, run, start, end, scan)))
+	return acc.Counts()
+}
+
+// accumulateRun folds a checkpoint run's clamped coverages into acc,
+// returning the cells visited.
+func accumulateRun(acc *timewindow.Accumulator, run []*Checkpoint, start, end uint64, scan bool) int {
+	visited := 0
+	for _, cp := range run {
 		lo, hi := start, end
 		if cp.PrevFreeze > lo {
 			lo = cp.PrevFreeze
@@ -669,9 +859,28 @@ func queryCheckpoints(cps []*Checkpoint, start, end uint64) flow.Counts {
 		if hi <= lo {
 			continue
 		}
-		cp.Filtered().QueryInto(total, lo, hi)
+		if scan {
+			visited += cp.Filtered().AccumulateScanInto(acc, lo, hi)
+		} else {
+			visited += cp.Filtered().AccumulateInto(acc, lo, hi)
+		}
 	}
-	return total
+	return visited
+}
+
+// pruneCheckpoints binary-searches the contiguous run of checkpoints whose
+// coverage (PrevFreeze, FreezeTime] overlaps [start, end). It relies on the
+// history invariants the retire path maintains: FreezeTime strictly
+// ascending and PrevFreeze chained to the predecessor's FreezeTime, so both
+// fields are monotone. Checkpoints outside the run contribute nothing (the
+// clamp in accumulateRun would reject them), so pruning is lossless.
+func pruneCheckpoints(cps []*Checkpoint, start, end uint64) []*Checkpoint {
+	lo := sort.Search(len(cps), func(i int) bool { return cps[i].FreezeTime > start })
+	hi := sort.Search(len(cps), func(i int) bool { return cps[i].PrevFreeze >= end })
+	if hi < lo {
+		hi = lo
+	}
+	return cps[lo:hi]
 }
 
 // QueryOriginal executes a queue-monitor query: the original causes of
@@ -686,7 +895,7 @@ func (s *System) QueryOriginal(port, queue int, t uint64) ([]qmonitor.Culprit, e
 	if queue < 0 || queue >= s.cfg.QueuesPerPort {
 		return nil, fmt.Errorf("control: queue %d out of range", queue)
 	}
-	cps := ps.snapshotCheckpoints()
+	cps, gen := ps.snapshotCheckpointsGen()
 	if len(cps) == 0 {
 		return nil, fmt.Errorf("control: no checkpoints for port %d", port)
 	}
@@ -696,11 +905,51 @@ func (s *System) QueryOriginal(port, queue int, t uint64) ([]qmonitor.Culprit, e
 	// Sequence numbers are globally monotonic, so merging every checkpoint
 	// up to the chosen one (keeping the highest-sequence record per level
 	// and half) reconstructs the monitor's exact state at that freeze.
-	snap := cps[0].QM[queue]
-	for i := 1; i <= idx; i++ {
-		snap = qmonitor.Merge(snap, cps[i].QM[queue])
+	// The running merge prefix is memoized per queue, so repeated queries
+	// extend it incrementally instead of re-merging from checkpoint 0.
+	return ps.prefixSnapshot(cps, gen, queue, idx, s.cfg.QueuesPerPort).OriginalCulprits(), nil
+}
+
+// prefixSnapshot returns Merge(cps[0..idx]) for the given queue, served
+// from (and extending) the port's prefix cache. The cache is keyed on the
+// history generation: at a given generation the history only grows at the
+// tail, so cached prefixes stay valid and longer ones are appended on
+// demand. A front trim bumps the generation and the cache resets lazily. A
+// caller holding a history copy older than the cache computes its answer
+// without caching, so stale indices never poison the shared prefixes.
+// Merged snapshots are immutable and may be shared across queries.
+func (ps *portState) prefixSnapshot(cps []*Checkpoint, gen uint64, queue, idx, queues int) *qmonitor.Snapshot {
+	ps.prefixMu.Lock()
+	if ps.prefixGen > gen {
+		// Cache is ahead of this caller's history copy: answer from the
+		// copy directly.
+		ps.prefixMu.Unlock()
+		snap := cps[0].QM[queue]
+		for i := 1; i <= idx; i++ {
+			snap = qmonitor.Merge(snap, cps[i].QM[queue])
+		}
+		return snap
 	}
-	return snap.OriginalCulprits(), nil
+	if ps.qmPrefix == nil {
+		ps.qmPrefix = make([][]*qmonitor.Snapshot, queues)
+	}
+	if ps.prefixGen != gen {
+		for q := range ps.qmPrefix {
+			ps.qmPrefix[q] = ps.qmPrefix[q][:0]
+		}
+		ps.prefixGen = gen
+	}
+	pfx := ps.qmPrefix[queue]
+	if len(pfx) == 0 {
+		pfx = append(pfx, cps[0].QM[queue])
+	}
+	for i := len(pfx); i <= idx; i++ {
+		pfx = append(pfx, qmonitor.Merge(pfx[i-1], cps[i].QM[queue]))
+	}
+	ps.qmPrefix[queue] = pfx
+	snap := pfx[idx]
+	ps.prefixMu.Unlock()
+	return snap
 }
 
 // nearestCheckpoint returns the index of the checkpoint whose freeze time

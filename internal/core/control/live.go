@@ -25,6 +25,11 @@ type QueryServer struct {
 	reqs    chan queryRequest
 	done    chan struct{}
 	wg      sync.WaitGroup
+	// sem bounds the extra goroutines interval queries may fan out across:
+	// its capacity is the worker count, so a query sharding a deep
+	// checkpoint run never exceeds the pool the operator sized. Shards that
+	// cannot acquire a slot run inline on the issuing worker.
+	sem chan struct{}
 }
 
 // queryMetrics instruments the query execution path, per operation.
@@ -98,6 +103,7 @@ func (q *QueryServer) Start(workers int) {
 	}
 	q.reqs = make(chan queryRequest)
 	q.done = make(chan struct{})
+	q.sem = make(chan struct{}, workers)
 	q.started = true
 	for i := 0; i < workers; i++ {
 		q.wg.Add(1)
@@ -148,7 +154,7 @@ func (q *QueryServer) execute(req queryRequest) QueryResult {
 	}
 	switch req.kind {
 	case IntervalQuery:
-		counts, err := q.sys.QueryInterval(req.port, req.start, req.end)
+		counts, err := q.sys.queryIntervalSharded(req.port, req.start, req.end, q.sem)
 		if err != nil {
 			res.Err = err
 			q.met.errors[req.kind].Inc()

@@ -153,6 +153,27 @@ func TestQueryServerMetrics(t *testing.T) {
 	if !strings.Contains(out, `printqueue_query_latency_ns_bucket{op="interval",le=`) {
 		t.Error("/metrics missing interval latency buckets")
 	}
+	// Query-path instrumentation: pruning, index hits, build cost, fan-out.
+	for _, want := range []string{
+		"printqueue_query_checkpoints_scanned_total",
+		"printqueue_query_checkpoints_pruned_total",
+		"printqueue_query_cells_visited_total",
+		"printqueue_query_index_build_ns_bucket",
+		"printqueue_query_parallel_fanouts_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if got := sys.qpath.checkpointsScanned.Load(); got == 0 {
+		t.Error("interval query scanned no checkpoints")
+	}
+	if got := sys.qpath.cellsVisited.Load(); got == 0 {
+		t.Error("interval query visited no cells")
+	}
+	if got := sys.qpath.indexBuildNs.Count(); got == 0 {
+		t.Error("no index builds observed")
+	}
 }
 
 // TestQueryClientTimeout connects the client to a listener that never

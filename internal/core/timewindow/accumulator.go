@@ -1,0 +1,117 @@
+package timewindow
+
+import (
+	"printqueue/internal/flow"
+)
+
+// Accumulator collects per-flow, per-window integer cell counts across any
+// number of filtered snapshots sharing one Config, deferring the
+// Algorithm-2 coefficient division to Counts. Keeping the intermediate
+// state integral makes the aggregation exact and order-independent: a query
+// split across checkpoints — or across goroutines, with partial
+// accumulators joined by Merge — produces bit-identical estimates no matter
+// how the work was partitioned, because integer addition is associative
+// where float addition is not. The per-flow estimate is always the same
+// left-to-right fold over window indices of count/coefficient.
+//
+// An Accumulator is not safe for concurrent use; parallel queries give each
+// shard its own and Merge the results.
+type Accumulator struct {
+	t     int
+	coeff []float64
+	ids   map[flow.Key]int32
+	flows []flow.Key
+	// counts is row-major per flow: counts[id*t+i] is the number of
+	// surviving cells of window i (across all accumulated snapshots)
+	// holding the flow and overlapping the query interval.
+	counts []int64
+}
+
+// NewAccumulator builds an empty accumulator for t windows with the given
+// recovery coefficients (len >= t). Pass Config.Coefficients() for the
+// paper's estimate, or all-ones for the ablation without recovery.
+func NewAccumulator(t int, coeff []float64) *Accumulator {
+	return &Accumulator{t: t, coeff: coeff, ids: make(map[flow.Key]int32)}
+}
+
+// add records n overlapping cells of window i for flow k.
+func (a *Accumulator) add(k flow.Key, i int, n int64) {
+	a.counts[int(a.intern(k))*a.t+i] += n
+}
+
+// intern returns the flow's id, appending a zeroed count row on first
+// sight. The row is grown in place (fresh capacity from make is already
+// zero, and rows are never truncated) to avoid a temporary slice per flow.
+func (a *Accumulator) intern(k flow.Key) int32 {
+	id, ok := a.ids[k]
+	if !ok {
+		id = int32(len(a.flows))
+		a.ids[k] = id
+		a.flows = append(a.flows, k)
+		n := len(a.counts) + a.t
+		if n <= cap(a.counts) {
+			a.counts = a.counts[:n]
+		} else {
+			grown := make([]int64, n, 2*n+64)
+			copy(grown, a.counts)
+			a.counts = grown
+		}
+	}
+	return id
+}
+
+// addRow records a full per-window count row for flow k with a single
+// interning lookup. len(row) must be a.t.
+func (a *Accumulator) addRow(k flow.Key, row []int64) {
+	id := a.intern(k)
+	dst := a.counts[int(id)*a.t : int(id)*a.t+a.t]
+	for i, n := range row {
+		dst[i] += n
+	}
+}
+
+// Flows returns the number of distinct flows accumulated.
+func (a *Accumulator) Flows() int { return len(a.flows) }
+
+// Merge folds b's integer counts into a. Because the counts are exact,
+// merging partial accumulators in any order yields the same totals as
+// accumulating serially.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b == nil {
+		return
+	}
+	for id, k := range b.flows {
+		row := b.counts[id*b.t : (id+1)*b.t]
+		for i, n := range row {
+			if n != 0 {
+				a.add(k, i, n)
+			}
+		}
+	}
+}
+
+// AddTo applies the coefficients and adds the per-flow estimates into dst.
+// Each flow's estimate is the ascending-window fold of count/coefficient —
+// the same association Query uses — so identical counts always produce
+// bit-identical floats.
+func (a *Accumulator) AddTo(dst flow.Counts) {
+	for id, k := range a.flows {
+		row := a.counts[id*a.t : (id+1)*a.t]
+		var est float64
+		for i, n := range row {
+			if n != 0 {
+				est += float64(n) / a.coeff[i]
+			}
+		}
+		if est != 0 {
+			dst.Add(k, est)
+		}
+	}
+}
+
+// Counts materializes the accumulated estimate as a fresh Counts map.
+func (a *Accumulator) Counts() flow.Counts {
+	out := make(flow.Counts, len(a.flows))
+	a.AddTo(out)
+	return out
+}

@@ -1,7 +1,7 @@
 package timewindow
 
 import (
-	"sync"
+	"sort"
 
 	"printqueue/internal/flow"
 )
@@ -35,6 +35,15 @@ func (s *Snapshot) latestCell() (tts uint64, ok bool) {
 	return best, ok
 }
 
+// cellRef is one surviving cell in a window's query index: its absolute
+// span start and the interned id of the flow it holds. Within a window all
+// spans share the window's cell period, so sorting by start makes the set
+// of cells overlapping any interval a contiguous run.
+type cellRef struct {
+	start uint64
+	flow  int32
+}
+
 // Filtered is a snapshot with Algorithm 3 applied: stale cells removed and
 // each window's retained anchor recorded. Queries run against it.
 type Filtered struct {
@@ -48,20 +57,35 @@ type Filtered struct {
 	// (once per checkpoint per interval query), the coefficients never
 	// change.
 	coeff []float64
+	// ones caches the all-ones coefficient vector for the no-recovery
+	// ablation, so QueryWithoutCoefficients stops allocating it per call.
+	ones  []float64
 	empty bool
+	// flows interns the distinct flows among surviving cells; index entries
+	// refer to flows by position here.
+	flows []flow.Key
+	// index[i] holds window i's surviving cells sorted by span start.
+	// Queries binary-search the overlapping run instead of walking all 2^k
+	// cells.
+	index [][]cellRef
 }
 
 // Filter implements Algorithm 3. It walks the windows from the most recent
 // cell of window 0, retaining only cells in the latest cycle (or, for
 // indices beyond the latest cell, the immediately preceding cycle), and
 // derives each deeper window's anchor as the most recently passed cell:
-// TTS' = (TTS - 2^k) >> alpha.
+// TTS' = (TTS - 2^k) >> alpha. It also builds, once, the per-window sorted
+// cell index queries binary-search.
 func (s *Snapshot) Filter() *Filtered {
 	f := &Filtered{
 		cfg:       s.cfg,
 		windows:   make([][]Cell, s.cfg.T),
 		anchorTTS: make([]uint64, s.cfg.T),
 		coeff:     s.cfg.Coefficients(),
+		ones:      make([]float64, s.cfg.T),
+	}
+	for i := range f.ones {
+		f.ones[i] = 1
 	}
 	tts, ok := s.latestCell()
 	if !ok {
@@ -69,6 +93,7 @@ func (s *Snapshot) Filter() *Filtered {
 		for i := range f.windows {
 			f.windows[i] = make([]Cell, len(s.windows[i]))
 		}
+		f.index = make([][]cellRef, s.cfg.T)
 		return f
 	}
 	cells := uint64(s.cfg.Cells())
@@ -99,7 +124,35 @@ func (s *Snapshot) Filter() *Filtered {
 		}
 		tts = (tts - cells) >> s.cfg.Alpha
 	}
+	f.buildIndex()
 	return f
+}
+
+// buildIndex interns the surviving flows and sorts each window's cells by
+// span start.
+func (f *Filtered) buildIndex() {
+	ids := make(map[flow.Key]int32, 64)
+	f.index = make([][]cellRef, f.cfg.T)
+	for i := range f.windows {
+		var refs []cellRef
+		for j, c := range f.windows[i] {
+			if !c.Valid {
+				continue
+			}
+			lo, _ := f.cellSpan(i, c.CycleID, j)
+			id, ok := ids[c.Flow]
+			if !ok {
+				id = int32(len(f.flows))
+				ids[c.Flow] = id
+				f.flows = append(f.flows, c.Flow)
+			}
+			refs = append(refs, cellRef{start: lo, flow: id})
+		}
+		// Span starts are unique within a window (each surviving cell has a
+		// distinct TTS), so the order is total.
+		sort.Slice(refs, func(a, b int) bool { return refs[a].start < refs[b].start })
+		f.index[i] = refs
+	}
 }
 
 // Empty reports whether the filtered snapshot holds no packets at all.
@@ -155,6 +208,72 @@ func (f *Filtered) RawWindowCounts(start, end uint64) []flow.Counts {
 	return out
 }
 
+// AccumulateInto adds the surviving cells overlapping [start, end) into acc
+// as integer per-window counts, binary-searching each window's sorted cell
+// index so only overlapping cells are touched — O(log 2^k + hits) per
+// window instead of O(2^k). A dense per-flow scratch (interned ids, no map
+// writes) gathers each window's counts before they are flushed to acc. It
+// returns the number of index cells visited.
+func (f *Filtered) AccumulateInto(acc *Accumulator, start, end uint64) int {
+	if f.empty || end <= start {
+		return 0
+	}
+	t := f.cfg.T
+	visited := 0
+	// Dense per-flow scratch rows (local interned ids, no map writes); each
+	// touched flow is flushed to acc with a single interning lookup after all
+	// windows are gathered.
+	cnt := make([]int64, len(f.flows)*t)
+	seen := make([]bool, len(f.flows))
+	touched := make([]int32, 0, 64)
+	for i := 0; i < t; i++ {
+		refs := f.index[i]
+		cp := f.cfg.CellPeriod(i)
+		// A cell [s, s+cp) overlaps [start, end) iff s+cp > start and
+		// s < end; with starts ascending both predicates are monotone, so
+		// the overlapping cells are exactly refs[first:last].
+		first := sort.Search(len(refs), func(j int) bool { return refs[j].start+cp > start })
+		last := first + sort.Search(len(refs)-first, func(j int) bool { return refs[first+j].start >= end })
+		for _, ref := range refs[first:last] {
+			if !seen[ref.flow] {
+				seen[ref.flow] = true
+				touched = append(touched, ref.flow)
+			}
+			cnt[int(ref.flow)*t+i]++
+		}
+		visited += last - first
+	}
+	for _, id := range touched {
+		acc.addRow(f.flows[id], cnt[int(id)*t:int(id)*t+t])
+	}
+	return visited
+}
+
+// AccumulateScanInto is the reference implementation of AccumulateInto: a
+// linear walk of every cell of every window, kept selectable for ablation
+// and differential testing. Because both paths feed the same integer
+// accumulator, their results are bit-identical. It returns the number of
+// cells visited (all of them).
+func (f *Filtered) AccumulateScanInto(acc *Accumulator, start, end uint64) int {
+	if f.empty || end <= start {
+		return 0
+	}
+	visited := 0
+	for i := 0; i < f.cfg.T; i++ {
+		visited += len(f.windows[i])
+		for j, c := range f.windows[i] {
+			if !c.Valid {
+				continue
+			}
+			lo, hi := f.cellSpan(i, c.CycleID, j)
+			if lo < end && hi > start {
+				acc.add(c.Flow, i, 1)
+			}
+		}
+	}
+	return visited
+}
+
 // Query estimates the per-flow packet counts dequeued during [start, end):
 // it gathers surviving cells per window and divides each window's counts by
 // coefficient[i] (Algorithm 2) to recover the pre-compression numbers, then
@@ -162,65 +281,35 @@ func (f *Filtered) RawWindowCounts(start, end uint64) []flow.Counts {
 // (victim residence interval) and indirect-culprit queries (regime
 // interval); the two differ only in the interval supplied.
 func (f *Filtered) Query(start, end uint64) flow.Counts {
-	total := make(flow.Counts)
-	f.queryInto(total, start, end, f.coeff)
-	return total
+	acc := NewAccumulator(f.cfg.T, f.coeff)
+	f.AccumulateInto(acc, start, end)
+	return acc.Counts()
+}
+
+// QueryScan is Query on the reference scan path (every cell of every
+// window). Results are bit-identical to Query; only the work differs.
+func (f *Filtered) QueryScan(start, end uint64) flow.Counts {
+	acc := NewAccumulator(f.cfg.T, f.coeff)
+	f.AccumulateScanInto(acc, start, end)
+	return acc.Counts()
 }
 
 // QueryInto accumulates the [start, end) estimate into dst instead of
-// allocating a fresh result map. The control plane aggregates one query
-// across every checkpoint covering the interval; accumulating directly
-// avoids a per-checkpoint Counts allocation and merge. The arithmetic is
-// identical to Query (per-window integer counts divided once by the window
-// coefficient, windows visited in order), so results are bit-equal.
+// returning a fresh result map. The arithmetic is identical to Query, so
+// results are bit-equal.
 func (f *Filtered) QueryInto(dst flow.Counts, start, end uint64) {
-	f.queryInto(dst, start, end, f.coeff)
+	acc := NewAccumulator(f.cfg.T, f.coeff)
+	f.AccumulateInto(acc, start, end)
+	acc.AddTo(dst)
 }
 
 // QueryWithoutCoefficients is the ablation variant that sums raw window
 // observations without Algorithm-2 recovery. Deep-window compression then
 // shows up directly as under-estimation.
 func (f *Filtered) QueryWithoutCoefficients(start, end uint64) flow.Counts {
-	ones := make([]float64, f.cfg.T)
-	for i := range ones {
-		ones[i] = 1
-	}
-	total := make(flow.Counts)
-	f.queryInto(total, start, end, ones)
-	return total
-}
-
-// scratchPool recycles the per-window integer count maps used by queryInto,
-// so steady-state query execution stops allocating one map per window per
-// checkpoint.
-var scratchPool = sync.Pool{
-	New: func() any { return make(map[flow.Key]int, 64) },
-}
-
-func (f *Filtered) queryInto(dst flow.Counts, start, end uint64, coeff []float64) {
-	if f.empty || end <= start {
-		return
-	}
-	scratch := scratchPool.Get().(map[flow.Key]int)
-	for i := 0; i < f.cfg.T; i++ {
-		for j, c := range f.windows[i] {
-			if !c.Valid {
-				continue
-			}
-			lo, hi := f.cellSpan(i, c.CycleID, j)
-			if lo < end && hi > start {
-				scratch[c.Flow]++
-			}
-		}
-		if len(scratch) > 0 {
-			ci := coeff[i]
-			for fl, n := range scratch {
-				dst.Add(fl, float64(n)/ci)
-			}
-			clear(scratch)
-		}
-	}
-	scratchPool.Put(scratch)
+	acc := NewAccumulator(f.cfg.T, f.ones)
+	f.AccumulateInto(acc, start, end)
+	return acc.Counts()
 }
 
 // QueryWindow estimates per-flow counts using only window i — the paper's

@@ -56,21 +56,84 @@ type Entry struct {
 // TopK returns the k largest flows by count, descending, ties broken by the
 // flow key's field order (Key.Compare) for determinism. k <= 0 or
 // k >= len(c) returns all flows sorted.
+//
+// For 0 < k < len(c) the selection runs over a bounded min-heap of k
+// entries — O(n log k) and O(k) space instead of sorting all n flows — and
+// is deterministic despite map iteration order because the ranking
+// (count, then Key.Compare) is a strict total order over distinct keys.
 func (c Counts) TopK(k int) []Entry {
-	entries := make([]Entry, 0, len(c))
-	for f, n := range c {
-		entries = append(entries, Entry{Flow: f, Count: n})
+	if k <= 0 || k >= len(c) {
+		entries := make([]Entry, 0, len(c))
+		for f, n := range c {
+			entries = append(entries, Entry{Flow: f, Count: n})
+		}
+		sortEntries(entries)
+		return entries
 	}
+	// h is a min-heap under entryRanksBelow: h[0] is the weakest retained
+	// entry, evicted whenever a stronger one arrives.
+	h := make([]Entry, 0, k)
+	for f, n := range c {
+		e := Entry{Flow: f, Count: n}
+		if len(h) < k {
+			h = append(h, e)
+			siftUp(h, len(h)-1)
+			continue
+		}
+		if entryRanksBelow(h[0], e) {
+			h[0] = e
+			siftDown(h, 0)
+		}
+	}
+	sortEntries(h)
+	return h
+}
+
+// sortEntries orders entries by count descending, Key.Compare ascending.
+func sortEntries(entries []Entry) {
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].Count != entries[j].Count {
 			return entries[i].Count > entries[j].Count
 		}
 		return entries[i].Flow.Compare(entries[j].Flow) < 0
 	})
-	if k > 0 && k < len(entries) {
-		entries = entries[:k]
+}
+
+// entryRanksBelow reports whether a ranks strictly below b in the TopK
+// order: smaller count, or equal count with the later key.
+func entryRanksBelow(a, b Entry) bool {
+	if a.Count != b.Count {
+		return a.Count < b.Count
 	}
-	return entries
+	return a.Flow.Compare(b.Flow) > 0
+}
+
+func siftUp(h []Entry, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryRanksBelow(h[i], h[parent]) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func siftDown(h []Entry, i int) {
+	for {
+		least := i
+		if l := 2*i + 1; l < len(h) && entryRanksBelow(h[l], h[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < len(h) && entryRanksBelow(h[r], h[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // String renders the counts as a human-readable table, largest flows first.

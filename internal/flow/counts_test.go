@@ -1,6 +1,9 @@
 package flow
 
 import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -51,6 +54,48 @@ func TestTopK(t *testing.T) {
 	}
 	if got := c.TopK(99); len(got) != 4 {
 		t.Fatalf("TopK over-length = %v", got)
+	}
+}
+
+// TestTopKMatchesSortOracle is the property test for the bounded-heap
+// selection: for random count multisets (with deliberate ties) and every k,
+// TopK must return exactly the k-prefix of the full sort.
+func TestTopKMatchesSortOracle(t *testing.T) {
+	oracle := func(c Counts, k int) []Entry {
+		all := make([]Entry, 0, len(c))
+		for f, n := range c {
+			all = append(all, Entry{Flow: f, Count: n})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Count != all[j].Count {
+				return all[i].Count > all[j].Count
+			}
+			return all[i].Flow.Compare(all[j].Flow) < 0
+		})
+		if k > 0 && k < len(all) {
+			all = all[:k]
+		}
+		return all
+	}
+	rng := rand.New(rand.NewPCG(21, 42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.IntN(40)
+		c := make(Counts, n)
+		for i := 0; i < n; i++ {
+			// Small value range forces many exact ties, exercising the
+			// Key.Compare tie-break.
+			c[Key{SrcIP: [4]byte{10, 0, byte(i / 256), byte(i)}, Proto: ProtoUDP}] = float64(rng.IntN(5))
+		}
+		for k := -1; k <= n+2; k++ {
+			got := c.TopK(k)
+			want := oracle(c, k)
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d n=%d k=%d:\n got %v\nwant %v", trial, n, k, got, want)
+			}
+		}
 	}
 }
 
