@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"printqueue"
 )
@@ -21,12 +22,20 @@ func main() {
 	log.SetFlags(0)
 	addr := flag.String("addr", "127.0.0.1:7171", "query service address")
 	top := flag.Int("top", 20, "flows to print")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-round-trip I/O deadline")
+	retries := flag.Int("retries", 2, "retries after a retryable failure (-1 to disable)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: pqquery [-addr host:port] interval|original [flags]")
+		log.Fatal("usage: pqquery [-addr host:port] [-timeout 5s] [-retries 2] interval|original [flags]")
+	}
+	if *retries == 0 {
+		*retries = -1 // flag 0 means "no retries"; the option's 0 means default
 	}
 
-	client, err := printqueue.DialQueries(*addr)
+	client, err := printqueue.DialQueriesOpts(*addr, printqueue.DialOptions{
+		Timeout:    *timeout,
+		MaxRetries: *retries,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

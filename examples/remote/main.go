@@ -50,7 +50,13 @@ func main() {
 	sw.Flush()
 	pq.Finalize(sw.Now() + 1)
 
-	svc, err := pq.Serve("127.0.0.1:0", 2)
+	// ServeOpts bounds the listener: idle connections are reaped after two
+	// minutes and at most 64 queries execute at once — beyond that the
+	// server sheds load ({"error":"overloaded"}) instead of queueing.
+	svc, err := pq.ServeOpts("127.0.0.1:0", 2, printqueue.ServeOptions{
+		IdleTimeout: 2 * time.Minute,
+		ShedLimit:   64,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +71,15 @@ func main() {
 	fmt.Printf("switch: ops endpoint on http://%s (curl /metrics)\n", ops.Addr())
 
 	// --- operator side (would normally be another machine) ---
-	client, err := printqueue.DialQueries(svc.Addr())
+	// The client rides out transient network trouble on its own: failed
+	// round trips are retried on a fresh connection with exponential
+	// backoff, and request/response ids keep a late answer from one query
+	// from being mistaken for the next one's.
+	client, err := printqueue.DialQueriesOpts(svc.Addr(), printqueue.DialOptions{
+		Timeout:     5 * time.Second,
+		MaxRetries:  3,
+		BackoffBase: 50 * time.Millisecond,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -121,4 +135,6 @@ func main() {
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("\noperator: client health: timeouts=%d retries=%d reconnects=%d\n",
+		client.Timeouts(), client.Retries(), client.Reconnects())
 }

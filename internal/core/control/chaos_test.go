@@ -1,0 +1,398 @@
+package control
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"printqueue/internal/faultnet"
+	"printqueue/internal/telemetry"
+)
+
+// chaosSeed returns the deterministic seed for the fault-injection tests.
+// CI pins it via PRINTQUEUE_CHAOS_SEED; the default keeps local runs
+// reproducible too.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if v := os.Getenv("PRINTQUEUE_CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("PRINTQUEUE_CHAOS_SEED=%q: %v", v, err)
+		}
+		return n
+	}
+	return 1
+}
+
+// chaosFixture builds a populated system served through a fault-injecting
+// listener. The trace is the netFixture one: ~60 packets dequeued on port 0
+// between t=1010 and t=ts, so Interval(0, 1000, ts+1) totals ~60 and any
+// interval after ts is empty.
+func chaosFixture(t *testing.T, fcfg faultnet.Config, opts ServeOptions) (*NetServer, uint64) {
+	t.Helper()
+	cfg := testConfig(0)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts uint64 = 1000
+	for i := 0; i < 60; i++ {
+		ts += 10
+		s.OnDequeue(deq(fkey(byte(i%3)), 0, ts-40, ts, 8))
+	}
+	s.Finalize(ts + 1)
+	qs := NewQueryServer(s)
+	qs.Start(2)
+	t.Cleanup(qs.Stop)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeQueriesListener(faultnet.Wrap(ln, fcfg), qs, opts)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ts
+}
+
+// legacyRoundTrip does what the pre-fix client did: encode the request with
+// no id, read one line, and trust it blindly. It is kept in test form to
+// prove the desync bug it suffers from.
+func legacyRoundTrip(t *testing.T, conn net.Conn, br *bufio.Reader, req NetRequest, deadline time.Duration) (NetResponse, error) {
+	t.Helper()
+	if err := conn.SetDeadline(time.Now().Add(deadline)); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return NetResponse{}, err
+	}
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return NetResponse{}, err
+	}
+	var resp NetResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp, nil
+}
+
+// TestChaosDesyncLegacyClient reproduces the framing-desync bug the id
+// protocol fixes: the server's first response is delayed past the client's
+// read deadline, the old-style client times out but keeps the connection,
+// and the next query then reads the previous query's counts as its own.
+func TestChaosDesyncLegacyClient(t *testing.T) {
+	srv, ts := chaosFixture(t, faultnet.Config{
+		Seed: chaosSeed(t), WriteLatency: 300 * time.Millisecond, SlowWrites: 1,
+	}, ServeOptions{})
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	// Query A covers the whole trace (~60 packets); its response write is
+	// delayed 300ms, so the 50ms read deadline expires first.
+	_, err = legacyRoundTrip(t, conn, br, NetRequest{Kind: "interval", Port: 0, Start: 1000, End: ts + 1}, 50*time.Millisecond)
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("query A error %v, want an I/O timeout", err)
+	}
+
+	// Query B covers an interval after the trace: the true answer is zero
+	// flows. The legacy client instead receives query A's stale response.
+	resp, err := legacyRoundTrip(t, conn, br, NetRequest{Kind: "interval", Port: 0, Start: ts + 100, End: ts + 200}, 2*time.Second)
+	if err != nil {
+		t.Fatalf("query B: %v", err)
+	}
+	var total float64
+	for _, n := range resp.Counts {
+		total += n
+	}
+	if total < 50 {
+		// If this starts failing, the stale-response hazard is gone at the
+		// transport level and the legacy reproduction can be retired.
+		t.Fatalf("legacy client read %v packets for the empty interval; expected the stale ~60-packet response (bug reproduction)", total)
+	}
+}
+
+// TestChaosDesyncFixedClient is the same mid-read-timeout injection against
+// the fixed client: the timed-out connection is poisoned, the retry redials,
+// and the second query returns its own (empty) result — never query A's.
+func TestChaosDesyncFixedClient(t *testing.T) {
+	srv, ts := chaosFixture(t, faultnet.Config{
+		Seed: chaosSeed(t), WriteLatency: 300 * time.Millisecond, SlowWrites: 1,
+	}, ServeOptions{})
+
+	reg := telemetry.NewRegistry()
+	c, err := DialOpts(srv.Addr().String(), DialOptions{
+		Timeout:     50 * time.Millisecond,
+		MaxRetries:  4,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+		Timeouts:    reg.Counter("printqueue_query_client_timeouts_total", "t"),
+		Retries:     reg.Counter("printqueue_query_client_retries_total", "r"),
+		Reconnects:  reg.Counter("printqueue_query_client_reconnects_total", "c"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Query A: first attempt times out mid-read (the response lands 300ms
+	// late); the retry runs on a fresh connection and must return A's own
+	// counts.
+	counts, err := c.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatalf("query A after retries: %v", err)
+	}
+	var total float64
+	for _, n := range counts {
+		total += n
+	}
+	if total < 50 || total > 70 {
+		t.Fatalf("query A total %v, want ~60", total)
+	}
+
+	// Query B: empty interval. The fixed client must never surface A's
+	// stale response: the result is an empty, non-nil map.
+	empty, err := c.Interval(0, ts+100, ts+200)
+	if err != nil {
+		t.Fatalf("query B: %v", err)
+	}
+	if empty == nil {
+		t.Fatal("empty result is nil; want a non-nil empty map")
+	}
+	if len(empty) != 0 {
+		t.Fatalf("query B returned %d flows, want 0 (stale response leaked)", len(empty))
+	}
+
+	if c.Timeouts() == 0 || c.Retries() == 0 || c.Reconnects() == 0 {
+		t.Fatalf("resilience counters: timeouts=%d retries=%d reconnects=%d, want all > 0",
+			c.Timeouts(), c.Retries(), c.Reconnects())
+	}
+	for name, got := range map[string]int64{
+		"printqueue_query_client_timeouts_total":   c.Timeouts(),
+		"printqueue_query_client_retries_total":    c.Retries(),
+		"printqueue_query_client_reconnects_total": c.Reconnects(),
+	} {
+		if reg.Counter(name, "").Load() != got {
+			t.Errorf("wired counter %s = %d, want %d", name, reg.Counter(name, "").Load(), got)
+		}
+	}
+}
+
+// TestChaosReconnectAfterIdleClose covers the server's idle deadline and
+// the client's redial: the server reclaims an idle connection, and the
+// client's next query transparently reconnects.
+func TestChaosReconnectAfterIdleClose(t *testing.T) {
+	srv, ts := chaosFixture(t, faultnet.Config{}, ServeOptions{IdleTimeout: 50 * time.Millisecond})
+	c, err := DialOpts(srv.Addr().String(), DialOptions{
+		Timeout: time.Second, MaxRetries: 2, BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.Interval(0, 1000, ts+1); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond) // server idle deadline reclaims the conn
+	counts, err := c.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatalf("query after idle close: %v", err)
+	}
+	var total float64
+	for _, n := range counts {
+		total += n
+	}
+	if total < 50 || total > 70 {
+		t.Fatalf("post-reconnect total %v, want ~60", total)
+	}
+	if c.Reconnects() == 0 {
+		t.Error("no reconnect recorded after the server closed the idle connection")
+	}
+}
+
+// TestChaosAcceptRetry injects transient accept failures (the EMFILE
+// scenario that used to kill the listener forever) and checks the accept
+// loop retries through them and keeps serving.
+func TestChaosAcceptRetry(t *testing.T) {
+	srv, ts := chaosFixture(t, faultnet.Config{AcceptFailures: 3}, ServeOptions{})
+	c, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Interval(0, 1000, ts+1); err != nil {
+		t.Fatalf("query through a listener that survived accept failures: %v", err)
+	}
+	if got := srv.acceptRetries.Load(); got != 3 {
+		t.Errorf("accept retries = %d, want 3", got)
+	}
+}
+
+// TestChaosShedOverload drives the load-shedding bound: with the backlog
+// artificially saturated the server answers {"error":"overloaded"}
+// immediately, a non-retrying client surfaces ErrOverloaded, and a retrying
+// client rides through once capacity frees up — without reconnecting, since
+// an overload reply leaves the framing intact.
+func TestChaosShedOverload(t *testing.T) {
+	srv, ts := chaosFixture(t, faultnet.Config{}, ServeOptions{ShedLimit: 1})
+
+	srv.inflight.Add(1) // saturate the backlog
+	c, err := DialOpts(srv.Addr().String(), DialOptions{Timeout: time.Second, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Interval(0, 1000, ts+1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated server returned %v, want ErrOverloaded", err)
+	}
+	if got := srv.shed.Load(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+
+	// A retrying client backs off and succeeds once the backlog drains.
+	rc, err := DialOpts(srv.Addr().String(), DialOptions{
+		Timeout: time.Second, MaxRetries: 3, BackoffBase: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		srv.inflight.Add(-1)
+	}()
+	if _, err := rc.Interval(0, 1000, ts+1); err != nil {
+		t.Fatalf("retrying client did not ride through the overload: %v", err)
+	}
+	if rc.Retries() == 0 {
+		t.Error("no retry recorded across the overload window")
+	}
+	if rc.Reconnects() != 0 {
+		t.Errorf("overload reply caused %d reconnects; the connection should have been reused", rc.Reconnects())
+	}
+}
+
+// TestChaosFaultMatrix runs the retrying client against each fault family
+// with a fixed seed. Chaos may cost round trips (errors after the budget),
+// but a successful query must NEVER return another query's data — the
+// correctness property the id protocol guarantees.
+func TestChaosFaultMatrix(t *testing.T) {
+	seed := chaosSeed(t)
+	cases := []struct {
+		name string
+		fcfg faultnet.Config
+	}{
+		{"drops", faultnet.Config{Seed: seed, DropWrite: 0.3}},
+		{"resets", faultnet.Config{Seed: seed, Reset: 0.08}},
+		{"partial-writes", faultnet.Config{Seed: seed, PartialWrite: 0.3}},
+		{"latency", faultnet.Config{Seed: seed, ReadLatency: 2 * time.Millisecond, WriteLatency: 2 * time.Millisecond}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, ts := chaosFixture(t, tc.fcfg, ServeOptions{})
+			c, err := DialOpts(srv.Addr().String(), DialOptions{
+				Timeout:     100 * time.Millisecond,
+				MaxRetries:  8,
+				BackoffBase: time.Millisecond,
+				BackoffMax:  10 * time.Millisecond,
+				Seed:        seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			successes := 0
+			for i := 0; i < 20; i++ {
+				// Alternate a full-trace query with an empty-interval one so
+				// a stale response would be caught as a wrong total.
+				var counts map[string]float64
+				var err error
+				wantFull := i%2 == 0
+				if wantFull {
+					counts, err = c.Interval(0, 1000, ts+1)
+				} else {
+					counts, err = c.Interval(0, ts+100, ts+200)
+				}
+				if err != nil {
+					continue // chaos may exhaust the budget; wrong data may not
+				}
+				successes++
+				var total float64
+				for _, n := range counts {
+					total += n
+				}
+				if wantFull && (total < 50 || total > 70) {
+					t.Fatalf("query %d: total %v, want ~60 (mismatched response?)", i, total)
+				}
+				if !wantFull && total != 0 {
+					t.Fatalf("query %d: empty interval returned %v packets (stale response)", i, total)
+				}
+			}
+			if successes < 15 {
+				t.Fatalf("only %d/20 queries succeeded under %s with an 8-retry budget", successes, tc.name)
+			}
+			t.Logf("%s: %d/20 ok, timeouts=%d retries=%d reconnects=%d",
+				tc.name, successes, c.Timeouts(), c.Retries(), c.Reconnects())
+		})
+	}
+}
+
+// TestChaosConcurrentClientsUnderFaults hammers the server from several
+// goroutines while writes drop, under -race: every successful answer must
+// be the right one for the interval asked.
+func TestChaosConcurrentClientsUnderFaults(t *testing.T) {
+	srv, ts := chaosFixture(t, faultnet.Config{Seed: chaosSeed(t), DropWrite: 0.15}, ServeOptions{})
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := DialOpts(srv.Addr().String(), DialOptions{
+				Timeout:     100 * time.Millisecond,
+				MaxRetries:  8,
+				BackoffBase: time.Millisecond,
+				Seed:        int64(g + 1),
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 10; i++ {
+				full := (g+i)%2 == 0
+				var counts map[string]float64
+				var err error
+				if full {
+					counts, err = c.Interval(0, 1000, ts+1)
+				} else {
+					counts, err = c.Interval(0, ts+100, ts+200)
+				}
+				if err != nil {
+					continue
+				}
+				var total float64
+				for _, n := range counts {
+					total += n
+				}
+				if full && (total < 50 || total > 70) {
+					t.Errorf("client %d query %d: total %v, want ~60", g, i, total)
+				}
+				if !full && total != 0 {
+					t.Errorf("client %d query %d: stale response (%v packets for empty interval)", g, i, total)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

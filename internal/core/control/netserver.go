@@ -2,9 +2,12 @@ package control
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -19,22 +22,32 @@ import (
 //
 // The wire protocol is newline-delimited JSON. Request:
 //
-//	{"kind":"interval","port":0,"start":1000,"end":2000}
-//	{"kind":"original","port":0,"queue":0,"at":1500}
+//	{"id":1,"kind":"interval","port":0,"start":1000,"end":2000}
+//	{"id":2,"kind":"original","port":0,"queue":0,"at":1500}
 //
 // Response:
 //
-//	{"counts":{"10.0.0.1:80>10.0.0.2:90/tcp":12.5,...}}
-//	{"error":"control: port 9 not activated"}
+//	{"id":1,"counts":{"10.0.0.1:80>10.0.0.2:90/tcp":12.5,...}}
+//	{"id":2,"error":"control: port 9 not activated"}
 //
-// One response per request, in order, per connection.
+// One response per request, in order, per connection. The server echoes the
+// request's id verbatim so a client that abandoned an earlier round trip
+// (e.g. after an I/O timeout) can never mistake the late response for the
+// answer to a newer query.
 type NetServer struct {
-	qs *QueryServer
-	ln net.Listener
+	qs   *QueryServer
+	ln   net.Listener
+	opts ServeOptions
 
-	connections *telemetry.Counter
-	requests    *telemetry.Counter
-	badRequests *telemetry.Counter
+	connections   *telemetry.Counter
+	requests      *telemetry.Counter
+	badRequests   *telemetry.Counter
+	shed          *telemetry.Counter
+	acceptRetries *telemetry.Counter
+
+	// inflight counts requests currently submitted to the query server
+	// across all connections; the shed bound compares against it.
+	inflight atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -44,6 +57,10 @@ type NetServer struct {
 
 // NetRequest is the wire form of a query request.
 type NetRequest struct {
+	// ID tags the request so its response can be matched unambiguously.
+	// The server echoes it verbatim; clients use monotonically increasing
+	// ids. 0 (legacy clients) is echoed as an omitted field.
+	ID    uint64 `json:"id,omitempty"`
 	Kind  string `json:"kind"` // "interval" or "original"
 	Port  int    `json:"port"`
 	Queue int    `json:"queue,omitempty"`
@@ -54,30 +71,97 @@ type NetRequest struct {
 
 // NetResponse is the wire form of a query response.
 type NetResponse struct {
+	// ID echoes the request's id (omitted for id-less legacy requests and
+	// for replies to undecodable lines).
+	ID     uint64             `json:"id,omitempty"`
 	Counts map[string]float64 `json:"counts,omitempty"`
 	Error  string             `json:"error,omitempty"`
+}
+
+// ErrOverloaded is returned (and sent on the wire as {"error":"overloaded"})
+// when the query backlog exceeds the server's shed limit. It is retryable:
+// the request was rejected before execution, so a client may back off and
+// resend on the same connection.
+var ErrOverloaded = errors.New("overloaded")
+
+// Server-side resilience defaults. They bound how long a dead peer can pin
+// resources without getting in the way of any real workload.
+const (
+	// DefaultIdleTimeout is how long a connection may sit between requests
+	// before the server reclaims its handler goroutine.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultWriteTimeout bounds one response write, so a client that
+	// stopped reading cannot block a handler forever.
+	DefaultWriteTimeout = 10 * time.Second
+	// DefaultShedLimit is the request backlog beyond which the server
+	// replies {"error":"overloaded"} instead of queueing.
+	DefaultShedLimit = 256
+)
+
+// ServeOptions tunes a NetServer's graceful-degradation behavior.
+type ServeOptions struct {
+	// IdleTimeout is the per-connection read deadline while waiting for the
+	// next request. 0 means DefaultIdleTimeout; negative disables it.
+	IdleTimeout time.Duration
+	// WriteTimeout is the deadline for writing one response. 0 means
+	// DefaultWriteTimeout; negative disables it.
+	WriteTimeout time.Duration
+	// ShedLimit bounds requests concurrently in flight on the query server
+	// across all connections; excess requests are answered with
+	// {"error":"overloaded"} immediately. 0 means DefaultShedLimit;
+	// negative disables shedding.
+	ShedLimit int
+}
+
+func (o *ServeOptions) normalize() {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = DefaultIdleTimeout
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = DefaultWriteTimeout
+	}
+	if o.ShedLimit == 0 {
+		o.ShedLimit = DefaultShedLimit
+	}
 }
 
 // ServeQueries starts a TCP listener on addr (e.g. "127.0.0.1:0") backed by
 // the query server, which must already be started. Close shuts it down.
 func ServeQueries(addr string, qs *QueryServer) (*NetServer, error) {
+	return ServeQueriesOpts(addr, qs, ServeOptions{})
+}
+
+// ServeQueriesOpts is ServeQueries with explicit resilience options.
+func ServeQueriesOpts(addr string, qs *QueryServer, opts ServeOptions) (*NetServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	return ServeQueriesListener(ln, qs, opts), nil
+}
+
+// ServeQueriesListener serves the query protocol on an existing listener
+// (e.g. a fault-injecting wrapper in tests). The server owns the listener
+// and closes it on Close.
+func ServeQueriesListener(ln net.Listener, qs *QueryServer, opts ServeOptions) *NetServer {
+	opts.normalize()
 	reg := qs.sys.telemetry
 	s := &NetServer{
-		qs: qs, ln: ln, conns: make(map[net.Conn]struct{}),
+		qs: qs, ln: ln, opts: opts, conns: make(map[net.Conn]struct{}),
 		connections: reg.Counter("printqueue_netserver_connections_total",
 			"TCP query connections accepted."),
 		requests: reg.Counter("printqueue_netserver_requests_total",
 			"Query requests received over TCP."),
 		badRequests: reg.Counter("printqueue_netserver_bad_requests_total",
 			"TCP query requests rejected as malformed."),
+		shed: reg.Counter("printqueue_netserver_shed_total",
+			"Query requests rejected with {\"error\":\"overloaded\"} because the backlog exceeded the shed limit."),
+		acceptRetries: reg.Counter("printqueue_netserver_accept_retries_total",
+			"Transient accept failures survived by the listener's retry loop."),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the listener's address (useful with port 0).
@@ -101,13 +185,35 @@ func (s *NetServer) Close() error {
 	return err
 }
 
+func (s *NetServer) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 func (s *NetServer) acceptLoop() {
 	defer s.wg.Done()
+	const maxAcceptBackoff = time.Second
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return // listener closed
+			if s.isClosed() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient failures — fd exhaustion (EMFILE/ENFILE),
+			// aborted handshakes — must not kill the listener: back off
+			// and retry instead of abandoning the query plane.
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			s.acceptRetries.Inc()
+			time.Sleep(backoff)
+			continue
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -122,6 +228,10 @@ func (s *NetServer) acceptLoop() {
 	}
 }
 
+// maxLine caps one request line; a query interval/point is ~100 bytes of
+// JSON, so a generous cap guards against hostile input.
+const maxLine = 1 << 16
+
 func (s *NetServer) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -130,33 +240,91 @@ func (s *NetServer) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	// A query interval/point is ~100 bytes of JSON; a generous line cap
-	// guards against hostile input.
-	const maxLine = 1 << 16
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 4096), maxLine)
-	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
-		line := scanner.Bytes()
+	br := bufio.NewReaderSize(conn, 4096)
+	for {
+		if s.opts.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+				return
+			}
+		}
+		line, tooLong, err := readLine(br, maxLine)
+		if err != nil {
+			return // peer gone, reset, or idle deadline expired
+		}
+		if tooLong {
+			s.badRequests.Inc()
+			if !s.reply(conn, NetResponse{Error: fmt.Sprintf("bad request: line exceeds %d bytes", maxLine)}) {
+				return
+			}
+			continue
+		}
+		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
 			continue
 		}
 		s.requests.Inc()
 		var req NetRequest
-		resp := NetResponse{}
+		var resp NetResponse
 		if err := json.Unmarshal(line, &req); err != nil {
 			s.badRequests.Inc()
-			resp.Error = fmt.Sprintf("bad request: %v", err)
+			resp = NetResponse{Error: fmt.Sprintf("bad request: %v", err)}
+		} else if n := s.inflight.Add(1); s.opts.ShedLimit > 0 && n > int64(s.opts.ShedLimit) {
+			s.inflight.Add(-1)
+			s.shed.Inc()
+			resp = NetResponse{ID: req.ID, Error: ErrOverloaded.Error()}
 		} else {
 			resp = s.execute(req)
+			s.inflight.Add(-1)
 		}
-		if err := enc.Encode(resp); err != nil {
+		if !s.reply(conn, resp) {
 			return
 		}
 	}
 }
 
+// reply writes one response line under the write deadline, reporting
+// whether the connection is still usable.
+func (s *NetServer) reply(conn net.Conn, resp NetResponse) bool {
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		return false
+	}
+	buf = append(buf, '\n')
+	if s.opts.WriteTimeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
+			return false
+		}
+	}
+	_, err = conn.Write(buf)
+	return err == nil
+}
+
+// readLine reads one newline-terminated line of at most max bytes. An
+// over-long line is consumed through its terminating newline and reported
+// via tooLong, so the connection can answer with an error and keep serving
+// instead of dying silently (the old bufio.Scanner ErrTooLong behavior).
+func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+	for {
+		frag, err := br.ReadSlice('\n')
+		if !tooLong {
+			line = append(line, frag...)
+			if len(line) > max {
+				tooLong = true
+				line = nil
+			}
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err != nil {
+			return nil, false, err // EOF/timeout/reset; drop any partial line
+		}
+		return line, tooLong, nil
+	}
+}
+
 func (s *NetServer) execute(req NetRequest) NetResponse {
+	resp := NetResponse{ID: req.ID}
 	var res QueryResult
 	switch req.Kind {
 	case "interval":
@@ -165,41 +333,109 @@ func (s *NetServer) execute(req NetRequest) NetResponse {
 		res = s.qs.Original(req.Port, req.Queue, req.At)
 	default:
 		s.badRequests.Inc()
-		return NetResponse{Error: fmt.Sprintf("unknown kind %q", req.Kind)}
+		resp.Error = fmt.Sprintf("unknown kind %q", req.Kind)
+		return resp
 	}
 	if res.Err != nil {
-		return NetResponse{Error: res.Err.Error()}
+		resp.Error = res.Err.Error()
+		return resp
 	}
-	return NetResponse{Counts: res.Counts}
+	resp.Counts = res.Counts
+	return resp
 }
 
-// DefaultDialTimeout is the per-round-trip I/O deadline applied when
-// DialOptions.Timeout is zero: long enough for any real query, short enough
-// that a hung QueryService cannot block a diagnosis forever.
-const DefaultDialTimeout = 5 * time.Second
+// Client-side resilience defaults. Queries are read-only and idempotent, so
+// retrying a failed round trip — on the same connection after an overload
+// reply, or on a fresh one after an I/O error — is always safe.
+const (
+	// DefaultDialTimeout is the per-round-trip I/O deadline applied when
+	// DialOptions.Timeout is zero: long enough for any real query, short
+	// enough that a hung QueryService cannot block a diagnosis forever.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultMaxRetries is how many additional attempts a round trip makes
+	// after a retryable failure.
+	DefaultMaxRetries = 2
+	// DefaultBackoffBase is the first retry's backoff; it doubles per
+	// retry (with jitter) up to DefaultBackoffMax.
+	DefaultBackoffBase = 20 * time.Millisecond
+	// DefaultBackoffMax caps the exponential backoff between retries.
+	DefaultBackoffMax = time.Second
+)
 
 // DialOptions tunes a QueryClient connection.
 type DialOptions struct {
-	// Timeout is the I/O deadline applied to each round trip (write +
-	// read). 0 means DefaultDialTimeout; negative disables deadlines.
+	// Timeout is the I/O deadline applied to each round-trip attempt
+	// (write + read). 0 means DefaultDialTimeout; negative disables
+	// deadlines.
 	Timeout time.Duration
-	// Timeouts, if non-nil, is incremented for every round trip that fails
-	// with an I/O timeout — wire it to a telemetry registry's
-	// printqueue_query_client_timeouts_total to fold client-side stalls
-	// into the query error metrics. The client also counts timeouts
-	// internally; see QueryClient.Timeouts.
-	Timeouts *telemetry.Counter
+	// MaxRetries is the retry budget per round trip: after the first
+	// attempt fails with a retryable error (I/O error, desync, overload),
+	// up to MaxRetries further attempts are made, redialing if the
+	// connection was poisoned. 0 means DefaultMaxRetries; negative
+	// disables retries.
+	MaxRetries int
+	// BackoffBase is the backoff before the first retry, doubling per
+	// subsequent retry with jitter in [d/2, d]. 0 means
+	// DefaultBackoffBase; negative disables backoff waits.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff. 0 means DefaultBackoffMax.
+	BackoffMax time.Duration
+	// Seed seeds the jitter PRNG so chaos tests are reproducible. 0 means
+	// a fixed default seed (the client's behavior is deterministic for a
+	// given fault sequence).
+	Seed int64
+	// Dialer, if non-nil, replaces net.DialTimeout for the initial dial
+	// and every reconnect — the hook fault-injection harnesses use.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Timeouts, Retries, and Reconnects, if non-nil, are incremented for
+	// every round-trip I/O timeout, retry attempt, and successful redial
+	// respectively — wire them to a telemetry registry's
+	// printqueue_query_client_{timeouts,retries,reconnects}_total to fold
+	// client-side resilience into the query metrics. The client also
+	// counts internally; see QueryClient.Timeouts/Retries/Reconnects.
+	Timeouts   *telemetry.Counter
+	Retries    *telemetry.Counter
+	Reconnects *telemetry.Counter
 }
 
-// QueryClient is a minimal client for the NetServer protocol.
+// errDesync marks a response that could not be matched to its request (a
+// mismatched id or an undecodable line). The connection is poisoned — its
+// buffered bytes can no longer be trusted — and the attempt is retried on a
+// fresh connection, which is safe because queries are idempotent.
+var errDesync = errors.New("control: query response desynchronized from request")
+
+// QueryClient is a client for the NetServer protocol.
+//
+// Every request carries a monotonically increasing id that the server
+// echoes; a response whose id does not match the in-flight request is never
+// returned to the caller. After any I/O error the connection is poisoned
+// and closed — its buffered bytes could belong to an abandoned round trip —
+// and the next attempt redials. This fixes the classic framing-desync bug
+// where a timed-out read left the previous query's response in the buffer
+// to be returned as the answer to the next query.
 type QueryClient struct {
-	mu         sync.Mutex
-	conn       net.Conn
-	br         *bufio.Reader
-	enc        *json.Encoder
-	timeout    time.Duration
-	timeouts   atomic.Int64
-	timeoutCtr *telemetry.Counter
+	addr        string
+	timeout     time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	dialer      func(addr string, timeout time.Duration) (net.Conn, error)
+
+	closed atomic.Bool
+
+	// mu serializes round trips: one request/response exchange owns the
+	// connection (and retry loop) at a time.
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	enc    *json.Encoder
+	broken bool
+	lastID uint64
+	rng    *rand.Rand
+	sleep  func(time.Duration) // test hook; time.Sleep
+
+	timeouts, retries, reconnects      atomic.Int64
+	timeoutCtr, retryCtr, reconnectCtr *telemetry.Counter
 }
 
 // Dial connects to a NetServer with default options.
@@ -207,54 +443,241 @@ func Dial(addr string) (*QueryClient, error) {
 	return DialOpts(addr, DialOptions{})
 }
 
-// DialOpts connects to a NetServer with explicit options.
+// DialOpts connects to a NetServer with explicit options. The initial dial
+// is not retried (so a misconfigured address fails fast); the retry budget
+// applies to round trips.
 func DialOpts(addr string, opts DialOptions) (*QueryClient, error) {
 	timeout := opts.Timeout
 	if timeout == 0 {
 		timeout = DefaultDialTimeout
 	}
-	conn, err := net.DialTimeout("tcp", addr, max(timeout, 0))
+	maxRetries := opts.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = DefaultMaxRetries
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoffBase := opts.BackoffBase
+	if backoffBase == 0 {
+		backoffBase = DefaultBackoffBase
+	} else if backoffBase < 0 {
+		backoffBase = 0
+	}
+	backoffMax := opts.BackoffMax
+	if backoffMax == 0 {
+		backoffMax = DefaultBackoffMax
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	dialer := opts.Dialer
+	if dialer == nil {
+		dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	c := &QueryClient{
+		addr:         addr,
+		timeout:      timeout,
+		maxRetries:   maxRetries,
+		backoffBase:  backoffBase,
+		backoffMax:   backoffMax,
+		dialer:       dialer,
+		rng:          rand.New(rand.NewSource(seed)),
+		sleep:        time.Sleep,
+		timeoutCtr:   opts.Timeouts,
+		retryCtr:     opts.Retries,
+		reconnectCtr: opts.Reconnects,
+	}
+	conn, err := dialer(addr, max(timeout, 0))
 	if err != nil {
 		return nil, err
 	}
-	return &QueryClient{
-		conn:       conn,
-		br:         bufio.NewReader(conn),
-		enc:        json.NewEncoder(conn),
-		timeout:    timeout,
-		timeoutCtr: opts.Timeouts,
-	}, nil
+	c.adopt(conn)
+	return c, nil
 }
 
-// Close closes the connection.
-func (c *QueryClient) Close() error { return c.conn.Close() }
+// adopt installs a fresh connection (caller holds mu, or the client is not
+// yet shared).
+func (c *QueryClient) adopt(conn net.Conn) {
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.enc = json.NewEncoder(conn)
+	c.broken = false
+}
 
-// Timeouts returns how many round trips have failed with an I/O timeout.
+// Close closes the connection. Subsequent round trips fail with
+// net.ErrClosed instead of redialing.
+func (c *QueryClient) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Timeouts returns how many round-trip attempts have failed with an I/O
+// timeout.
 func (c *QueryClient) Timeouts() int64 { return c.timeouts.Load() }
+
+// Retries returns how many round-trip attempts were retries of a failed
+// attempt.
+func (c *QueryClient) Retries() int64 { return c.retries.Load() }
+
+// Reconnects returns how many times the client redialed after poisoning a
+// connection.
+func (c *QueryClient) Reconnects() int64 { return c.reconnects.Load() }
 
 func (c *QueryClient) roundTrip(req NetRequest) (map[string]float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if c.retryCtr != nil {
+				c.retryCtr.Inc()
+			}
+			if d := c.backoff(attempt); d > 0 {
+				c.sleep(d)
+			}
+		}
+		if c.closed.Load() {
+			return nil, net.ErrClosed
+		}
+		if c.conn == nil || c.broken {
+			if err := c.redialLocked(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		counts, err := c.attempt(req)
+		if err == nil {
+			return counts, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt performs one request/response exchange on the live connection.
+// Any failure that leaves the connection's framing untrustworthy poisons it.
+func (c *QueryClient) attempt(req NetRequest) (map[string]float64, error) {
+	c.lastID++
+	req.ID = c.lastID
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			c.poison()
 			return nil, err
 		}
 	}
 	if err := c.enc.Encode(req); err != nil {
+		c.poison()
 		return nil, c.noteTimeout(err)
 	}
-	line, err := c.br.ReadBytes('\n')
+	for {
+		line, err := c.br.ReadBytes('\n')
+		if err != nil {
+			c.poison()
+			return nil, c.noteTimeout(err)
+		}
+		var resp NetResponse
+		if err := json.Unmarshal(line, &resp); err != nil {
+			c.poison()
+			return nil, fmt.Errorf("%w: undecodable response: %v", errDesync, err)
+		}
+		if resp.ID != 0 && resp.ID < req.ID {
+			// A late response to a round trip this client already
+			// abandoned: discard it and keep reading. (Poisoning on
+			// error makes this rare — it needs an error path that left
+			// the connection alive — but ids make it harmless.)
+			continue
+		}
+		if resp.ID != 0 && resp.ID != req.ID {
+			c.poison()
+			return nil, fmt.Errorf("%w: response id %d for request id %d", errDesync, resp.ID, req.ID)
+		}
+		if resp.Error != "" {
+			if resp.Error == ErrOverloaded.Error() {
+				return nil, ErrOverloaded
+			}
+			return nil, errors.New(resp.Error)
+		}
+		if resp.Counts == nil {
+			// An empty result omits "counts" on the wire; normalize so
+			// callers can distinguish "no culprits" from a zero value.
+			resp.Counts = make(map[string]float64)
+		}
+		return resp.Counts, nil
+	}
+}
+
+// poison marks the connection unusable and closes it: after any I/O error
+// its buffered bytes may belong to an abandoned round trip.
+func (c *QueryClient) poison() {
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+}
+
+// redialLocked replaces a poisoned (or never-established) connection.
+func (c *QueryClient) redialLocked() error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	conn, err := c.dialer(c.addr, max(c.timeout, 0))
 	if err != nil {
-		return nil, c.noteTimeout(err)
+		return err
 	}
-	var resp NetResponse
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return nil, err
+	c.adopt(conn)
+	c.reconnects.Add(1)
+	if c.reconnectCtr != nil {
+		c.reconnectCtr.Inc()
 	}
-	if resp.Error != "" {
-		return nil, errors.New(resp.Error)
+	return nil
+}
+
+// backoff returns the jittered exponential backoff before retry attempt n
+// (n >= 1): base doubled per retry, capped at backoffMax, jittered
+// uniformly in [d/2, d].
+func (c *QueryClient) backoff(attempt int) time.Duration {
+	d := c.backoffBase
+	if d <= 0 {
+		return 0
 	}
-	return resp.Counts, nil
+	for i := 1; i < attempt && d < c.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	half := d / 2
+	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+}
+
+// retryable reports whether a round-trip failure may be retried. Transport
+// failures and desyncs are retried on a fresh connection; an overload reply
+// is retried after backoff on the same connection. Application-level errors
+// (unknown port, empty interval, ...) are returned to the caller as-is.
+func retryable(err error) bool {
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, errDesync) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
 }
 
 // noteTimeout counts err if it is an I/O timeout, and passes it through.

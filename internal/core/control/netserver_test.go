@@ -3,9 +3,11 @@ package control
 import (
 	"bufio"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // netFixture builds a populated system with a running query + net server.
@@ -58,12 +60,70 @@ func TestNetServerRoundTrip(t *testing.T) {
 		t.Fatal("remote original query returned nothing")
 	}
 
+	// An interval with no traffic must come back as a non-nil empty map, so
+	// callers can distinguish "no culprits" from a failed query.
+	empty, err := client.Interval(0, ts+100, ts+200)
+	if err != nil {
+		t.Fatalf("empty-interval query: %v", err)
+	}
+	if empty == nil {
+		t.Fatal("empty result is nil; want a non-nil empty map")
+	}
+	if len(empty) != 0 {
+		t.Fatalf("empty-interval query returned %d flows, want 0", len(empty))
+	}
+
 	// Errors travel back as errors.
 	if _, err := client.Interval(9, 0, 1); err == nil {
 		t.Fatal("remote unknown-port query succeeded")
 	}
 	if _, err := client.Interval(0, 5, 5); err == nil {
 		t.Fatal("remote empty interval succeeded")
+	}
+}
+
+// TestNetServerOverlongLine sends a request line beyond the 64 KiB cap: the
+// server must answer with a bad-request error, count it, and keep the
+// connection serving (the old bufio.Scanner path dropped it silently).
+func TestNetServerOverlongLine(t *testing.T) {
+	srv, ts := netFixture(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	big := make([]byte, 80*1024)
+	for i := range big {
+		big[i] = 'x'
+	}
+	big[len(big)-1] = '\n'
+	if _, err := conn.Write(big); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("no reply to the over-long line: %v", err)
+	}
+	if !strings.Contains(resp, "bad request") {
+		t.Fatalf("over-long line got %q, want a bad-request error", resp)
+	}
+	if got := srv.badRequests.Load(); got != 1 {
+		t.Errorf("badRequests = %d after over-long line, want 1", got)
+	}
+
+	// The connection survives: a well-formed request still gets answered.
+	if _, err := conn.Write([]byte(`{"kind":"interval","port":0,"start":1000,"end":` + strconv.FormatUint(ts+1, 10) + "}\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("request after over-long line got no reply: %v", err)
+	}
+	if !strings.Contains(resp, "counts") {
+		t.Fatalf("request after over-long line got %q, want counts", resp)
 	}
 }
 

@@ -3,6 +3,7 @@ package control
 import (
 	"errors"
 	"net"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -199,7 +200,9 @@ func TestQueryClientTimeout(t *testing.T) {
 
 	reg := telemetry.NewRegistry()
 	ctr := reg.Counter("printqueue_query_client_timeouts_total", "Client round trips that timed out.")
-	c, err := DialOpts(ln.Addr().String(), DialOptions{Timeout: 50 * time.Millisecond, Timeouts: ctr})
+	// MaxRetries -1: this test counts exactly one attempt; the retry
+	// machinery has its own coverage in chaos_test.go.
+	c, err := DialOpts(ln.Addr().String(), DialOptions{Timeout: 50 * time.Millisecond, MaxRetries: -1, Timeouts: ctr})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,5 +224,86 @@ func TestQueryClientTimeout(t *testing.T) {
 	}
 	if ctr.Load() != 1 {
 		t.Errorf("registry timeout counter = %d, want 1", ctr.Load())
+	}
+}
+
+// TestResilienceMetricsParity extends the metrics-parity guarantee to the
+// query-plane resilience counters: shed, accept retries, and the client's
+// timeout/retry/reconnect counters (wired into the same registry) must all
+// appear in the Prometheus exposition with the values their in-process
+// accessors report.
+func TestResilienceMetricsParity(t *testing.T) {
+	cfg := testConfig(0)
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts uint64 = 1000
+	for i := 0; i < 60; i++ {
+		ts += 10
+		sys.OnDequeue(deq(fkey(byte(i%3)), 0, ts-40, ts, 8))
+	}
+	sys.Finalize(ts + 1)
+	qs := NewQueryServer(sys)
+	qs.Start(2)
+	defer qs.Stop()
+	srv, err := ServeQueriesOpts("127.0.0.1:0", qs, ServeOptions{ShedLimit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	reg := sys.Telemetry()
+	c, err := DialOpts(srv.Addr().String(), DialOptions{
+		Timeout:     time.Second,
+		MaxRetries:  3,
+		BackoffBase: time.Millisecond,
+		Timeouts:    reg.Counter("printqueue_query_client_timeouts_total", "Client round trips that timed out."),
+		Retries:     reg.Counter("printqueue_query_client_retries_total", "Client round-trip retry attempts."),
+		Reconnects:  reg.Counter("printqueue_query_client_reconnects_total", "Client redials after a poisoned connection."),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Drive a shed (saturated backlog), releasing capacity only once the
+	// shed has been observed so the client's retry then succeeds.
+	srv.inflight.Add(1)
+	go func() {
+		for srv.shed.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		srv.inflight.Add(-1)
+	}()
+	if _, err := c.Interval(0, 1000, ts+1); err != nil {
+		t.Fatalf("query across overload window: %v", err)
+	}
+	// Drive a reconnect: sever the client's connection out from under it.
+	c.conn.Close()
+	if _, err := c.Interval(0, 1000, ts+1); err != nil {
+		t.Fatalf("query across severed connection: %v", err)
+	}
+
+	out := scrape(t, sys)
+	for metric, want := range map[string]int64{
+		"printqueue_netserver_shed_total":           srv.shed.Load(),
+		"printqueue_netserver_accept_retries_total": srv.acceptRetries.Load(),
+		"printqueue_query_client_timeouts_total":    c.Timeouts(),
+		"printqueue_query_client_retries_total":     c.Retries(),
+		"printqueue_query_client_reconnects_total":  c.Reconnects(),
+		"printqueue_netserver_bad_requests_total":   0,
+		"printqueue_netserver_connections_total":    srv.connections.Load(),
+	} {
+		line := metric + " " + strconv.FormatInt(want, 10)
+		if !strings.Contains(out, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+	if srv.shed.Load() == 0 {
+		t.Error("shed counter did not move")
+	}
+	if c.Retries() == 0 || c.Reconnects() == 0 {
+		t.Errorf("client resilience counters did not move: retries=%d reconnects=%d", c.Retries(), c.Reconnects())
 	}
 }

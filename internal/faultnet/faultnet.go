@@ -1,0 +1,229 @@
+// Package faultnet wraps net.Listener and net.Conn with deterministic,
+// seedable fault injection — added latency, partial writes, silently
+// dropped writes, connection resets, and transient accept/dial failures —
+// so the query plane's retry, reconnect, and shedding paths can be driven
+// from ordinary `go test -race` runs instead of waiting for real networks
+// to misbehave.
+//
+// Determinism: every accepted (or dialed) connection gets its own PRNG
+// seeded with Config.Seed plus the connection's ordinal, so a test that
+// establishes connections in a fixed order sees the same fault sequence on
+// every run with the same seed.
+package faultnet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Config selects which faults to inject and how often.
+type Config struct {
+	// Seed is the base PRNG seed; connection i uses Seed+i.
+	Seed int64
+	// ReadLatency is added before every Read.
+	ReadLatency time.Duration
+	// WriteLatency is added before a Write (see SlowWrites).
+	WriteLatency time.Duration
+	// SlowWrites, when > 0, restricts WriteLatency to the first N writes
+	// observed across the whole listener (or dialer) — a scripted "the
+	// server was slow exactly once" fault. 0 applies WriteLatency to every
+	// write.
+	SlowWrites int
+	// PartialWrite is the probability that a Write transmits only the
+	// first half of its buffer, then resets the connection.
+	PartialWrite float64
+	// DropWrite is the probability that a Write is silently discarded
+	// while being reported as fully written.
+	DropWrite float64
+	// Reset is the probability, rolled per Read and per Write, that the
+	// operation closes the connection and fails with ECONNRESET.
+	Reset float64
+	// AcceptFailures makes the listener's first N Accept calls fail with a
+	// transient (net.Error Temporary) error before any connection is
+	// accepted — the EMFILE-under-load scenario.
+	AcceptFailures int
+}
+
+// tempError is the injected transient failure; it satisfies net.Error with
+// Temporary() == true, like EMFILE from a real accept loop.
+type tempError struct{ op string }
+
+func (e *tempError) Error() string   { return "faultnet: injected transient " + e.op + " failure" }
+func (e *tempError) Timeout() bool   { return false }
+func (e *tempError) Temporary() bool { return true }
+
+// resetErr builds the injected connection-reset error, wrapped the way the
+// kernel would report it so errors.Is(err, syscall.ECONNRESET) holds.
+func resetErr(op string) error {
+	return &net.OpError{Op: op, Net: "faultnet", Err: syscall.ECONNRESET}
+}
+
+// shared is fault state spanning every connection of one listener/dialer.
+type shared struct {
+	mu         sync.Mutex
+	slowBudget int64 // WriteLatency applications remaining; -1 = unlimited
+}
+
+func newShared(cfg Config) *shared {
+	sh := &shared{slowBudget: -1}
+	if cfg.SlowWrites > 0 {
+		sh.slowBudget = int64(cfg.SlowWrites)
+	}
+	return sh
+}
+
+// slow consumes one unit of the slow-write budget.
+func (s *shared) slow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.slowBudget < 0 {
+		return true
+	}
+	if s.slowBudget == 0 {
+		return false
+	}
+	s.slowBudget--
+	return true
+}
+
+// Listener injects faults into accepted connections.
+type Listener struct {
+	ln  net.Listener
+	cfg Config
+	sh  *shared
+
+	mu          sync.Mutex
+	acceptFails int
+	conns       int64
+}
+
+// Wrap builds a fault-injecting listener around ln.
+func Wrap(ln net.Listener, cfg Config) *Listener {
+	return &Listener{ln: ln, cfg: cfg, sh: newShared(cfg), acceptFails: cfg.AcceptFailures}
+}
+
+// Accept fails transiently while the AcceptFailures budget lasts, then
+// accepts from the underlying listener and wraps the connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if l.acceptFails > 0 {
+		l.acceptFails--
+		l.mu.Unlock()
+		return nil, &tempError{op: "accept"}
+	}
+	n := l.conns
+	l.conns++
+	l.mu.Unlock()
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return wrapConn(c, l.cfg, l.sh, l.cfg.Seed+n), nil
+}
+
+// Close closes the underlying listener.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Addr returns the underlying listener's address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Dialer produces fault-injected client-side connections; the first
+// FailFirst dials fail with a transient error before reaching the network.
+type Dialer struct {
+	Config    Config
+	FailFirst int
+
+	once  sync.Once
+	sh    *shared
+	mu    sync.Mutex
+	fails int
+	dials int64
+}
+
+// Dial connects to addr over TCP and wraps the connection. It matches the
+// control-plane DialOptions.Dialer hook signature.
+func (d *Dialer) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	d.once.Do(func() { d.sh = newShared(d.Config) })
+	d.mu.Lock()
+	if d.fails < d.FailFirst {
+		d.fails++
+		d.mu.Unlock()
+		return nil, &tempError{op: "dial"}
+	}
+	n := d.dials
+	d.dials++
+	d.mu.Unlock()
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return wrapConn(c, d.Config, d.sh, d.Config.Seed+n), nil
+}
+
+// Conn is a fault-injecting net.Conn.
+type Conn struct {
+	net.Conn
+	cfg Config
+	sh  *shared
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WrapConn wraps a single connection with its own PRNG seed (exported for
+// tests that build connections outside a Listener/Dialer).
+func WrapConn(c net.Conn, cfg Config, seed int64) *Conn {
+	return wrapConn(c, cfg, newShared(cfg), seed)
+}
+
+func wrapConn(c net.Conn, cfg Config, sh *shared, seed int64) *Conn {
+	return &Conn{Conn: c, cfg: cfg, sh: sh, rng: rand.New(rand.NewSource(seed))}
+}
+
+// roll draws one Bernoulli sample from the connection's PRNG.
+func (c *Conn) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < p
+}
+
+// Read injects latency and resets, then delegates.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.cfg.ReadLatency > 0 {
+		time.Sleep(c.cfg.ReadLatency)
+	}
+	if c.roll(c.cfg.Reset) {
+		c.Conn.Close()
+		return 0, resetErr("read")
+	}
+	return c.Conn.Read(p)
+}
+
+// Write injects latency, resets, drops, and partial writes, then delegates.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.cfg.WriteLatency > 0 && c.sh.slow() {
+		time.Sleep(c.cfg.WriteLatency)
+	}
+	if c.roll(c.cfg.Reset) {
+		c.Conn.Close()
+		return 0, resetErr("write")
+	}
+	if c.roll(c.cfg.DropWrite) {
+		return len(p), nil // lost in flight, reported as sent
+	}
+	if c.roll(c.cfg.PartialWrite) && len(p) > 1 {
+		n, err := c.Conn.Write(p[:len(p)/2])
+		c.Conn.Close()
+		if err != nil {
+			return n, err
+		}
+		return n, resetErr("write")
+	}
+	return c.Conn.Write(p)
+}

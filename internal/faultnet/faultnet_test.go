@@ -1,0 +1,185 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two ends of a loopback TCP connection.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		server, err = ln.Accept()
+		close(done)
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	if cerr != nil {
+		t.Fatal(cerr)
+	}
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestAcceptFailuresCountdown(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(inner, Config{AcceptFailures: 2})
+	defer ln.Close()
+	for i := 0; i < 2; i++ {
+		_, err := ln.Accept()
+		if err == nil {
+			t.Fatalf("accept %d succeeded; want injected failure", i)
+		}
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Temporary() || ne.Timeout() { //nolint:staticcheck // Temporary is the accept-loop contract
+			t.Fatalf("accept %d error %v is not a transient net.Error", i, err)
+		}
+	}
+	go func() {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err == nil {
+			defer c.Close()
+			c.Write([]byte("x"))
+		}
+	}()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept after budget drained: %v", err)
+	}
+	defer conn.Close()
+	if _, ok := conn.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *faultnet.Conn", conn)
+	}
+}
+
+func TestPartialWriteResets(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := WrapConn(client, Config{PartialWrite: 1}, 7)
+	msg := []byte("0123456789")
+	n, err := fc.Write(msg)
+	if n != len(msg)/2 {
+		t.Fatalf("partial write wrote %d bytes, want %d", n, len(msg)/2)
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("partial write error %v, want ECONNRESET", err)
+	}
+	got := make([]byte, len(msg))
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	rn, _ := io.ReadFull(server, got)
+	if rn != len(msg)/2 {
+		t.Fatalf("peer received %d bytes, want %d", rn, len(msg)/2)
+	}
+}
+
+func TestDropWriteIsSilent(t *testing.T) {
+	client, server := tcpPair(t)
+	fc := WrapConn(client, Config{DropWrite: 1}, 7)
+	if n, err := fc.Write([]byte("lost")); n != 4 || err != nil {
+		t.Fatalf("dropped write reported (%d, %v), want (4, nil)", n, err)
+	}
+	server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if n, _ := server.Read(make([]byte, 8)); n != 0 {
+		t.Fatalf("peer received %d bytes of a dropped write", n)
+	}
+}
+
+// TestDeterministicFaults wires two identically seeded connections through
+// the same probabilistic config and requires identical fault decisions.
+func TestDeterministicFaults(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		client, server := tcpPair(t)
+		defer client.Close()
+		defer server.Close()
+		fc := WrapConn(client, Config{DropWrite: 0.5, Seed: seed}, seed)
+		var delivered []bool
+		buf := make([]byte, 1)
+		for i := 0; i < 32; i++ {
+			if _, err := fc.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+			server.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+			n, _ := server.Read(buf)
+			delivered = append(delivered, n == 1)
+		}
+		return delivered
+	}
+	a, b := pattern(42), pattern(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequences diverge at write %d: %v vs %v", i, a, b)
+		}
+	}
+	anyDropped, anyDelivered := false, false
+	for _, d := range a {
+		if d {
+			anyDelivered = true
+		} else {
+			anyDropped = true
+		}
+	}
+	if !anyDropped || !anyDelivered {
+		t.Fatalf("p=0.5 drop pattern degenerate: %v", a)
+	}
+}
+
+func TestSlowWritesBudget(t *testing.T) {
+	client, server := tcpPair(t)
+	go io.Copy(io.Discard, server)
+	fc := WrapConn(client, Config{WriteLatency: 60 * time.Millisecond, SlowWrites: 1}, 1)
+	start := time.Now()
+	if _, err := fc.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("first write took %v, want >= ~60ms of injected latency", d)
+	}
+	start = time.Now()
+	if _, err := fc.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("second write took %v; slow-write budget not consumed", d)
+	}
+}
+
+func TestDialerFailFirst(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	d := &Dialer{FailFirst: 1}
+	if _, err := d.Dial(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("first dial succeeded; want injected failure")
+	}
+	c, err := d.Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("second dial: %v", err)
+	}
+	c.Close()
+}

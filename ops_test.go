@@ -211,6 +211,16 @@ func TestServeOpsUnderPipelineLoad(t *testing.T) {
 	if m["printqueue_netserver_requests_total"] != 1 {
 		t.Errorf("netserver requests = %d, want 1", m["printqueue_netserver_requests_total"])
 	}
+	// Resilience counters register with the listener and must be scrapeable
+	// even before they move.
+	for _, name := range []string{
+		"printqueue_netserver_shed_total",
+		"printqueue_netserver_accept_retries_total",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
 
 	for _, path := range []string{"/healthz", "/debug/vars", "/debug/pipeline"} {
 		resp, err := http.Get("http://" + ops.Addr() + path)
@@ -285,7 +295,8 @@ func TestQueryClientTimeoutsExposed(t *testing.T) {
 		}
 	}()
 
-	c, err := DialQueriesOpts(ln.Addr().String(), DialOptions{Timeout: 50 * time.Millisecond})
+	// MaxRetries -1: exactly one attempt so exactly one timeout is counted.
+	c, err := DialQueriesOpts(ln.Addr().String(), DialOptions{Timeout: 50 * time.Millisecond, MaxRetries: -1})
 	if err != nil {
 		t.Fatal(err)
 	}

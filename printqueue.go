@@ -319,6 +319,12 @@ func (a egressAdapter) OnDequeue(p *pktrec.Packet) { a.sys.OnDequeue(p) }
 // PrintQueue in their own pipeline instead of using Switch). Packets must
 // arrive in dequeue order per port.
 func (s *System) Observe(p Packet, enqTime, deqTime uint64, enqDepthCells int) {
+	// Clamp to zero rather than letting deqTime < enqTime (clock skew,
+	// caller bugs) wrap the unsigned delta to ~2^64 and misfile the packet.
+	var delta uint64
+	if deqTime > enqTime {
+		delta = deqTime - enqTime
+	}
 	rec := &pktrec.Packet{
 		Flow:    p.Flow.internal(),
 		Bytes:   p.Bytes,
@@ -327,7 +333,7 @@ func (s *System) Observe(p Packet, enqTime, deqTime uint64, enqDepthCells int) {
 		Queue:   p.Queue,
 		Meta: pktrec.Metadata{
 			EnqTimestamp: enqTime,
-			DeqTimedelta: deqTime - enqTime,
+			DeqTimedelta: delta,
 			EnqQdepth:    enqDepthCells,
 		},
 	}

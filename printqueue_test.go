@@ -215,6 +215,36 @@ func TestObserveDirect(t *testing.T) {
 	}
 }
 
+// TestObserveClampsTimeDelta regresses the uint64 underflow: a packet whose
+// dequeue timestamp precedes its enqueue timestamp (clock skew, caller bug)
+// used to wrap DeqTimedelta to ~2^64 and misfile the packet into an ancient
+// window. With the clamp it lands at its enqueue time and stays queryable.
+func TestObserveClampsTimeDelta(t *testing.T) {
+	pq, err := New(Config{
+		TimeWindows:  TimeWindowConfig{M0: 3, K: 6, Alpha: 1, T: 3, MinPktTxDelay: 10 * time.Nanosecond},
+		QueueMonitor: QueueMonitorConfig{MaxDepthCells: 1024, GranuleCells: 4},
+		Ports:        []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts uint64 = 1000
+	for i := 0; i < 50; i++ {
+		ts += 10
+		pq.Observe(Packet{Flow: testFlow(byte(i % 3)), Bytes: 100, Port: 0}, ts-40, ts, 8)
+	}
+	// Skewed packet: dequeue "before" enqueue.
+	pq.Observe(Packet{Flow: testFlow(9), Bytes: 100, Port: 0}, 2000, 100, 4)
+	pq.Finalize(2100)
+	rep, err := pq.QueryInterval(0, 1900, 2100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() < 1 {
+		t.Fatalf("skewed packet lost: interval [1900,2100) recovered %v packets, want >= 1", rep.Total())
+	}
+}
+
 func TestDataPlaneQueriesPublic(t *testing.T) {
 	sw, _ := NewSwitch(SwitchConfig{Ports: 1, LinkBps: 10e9, BufferCells: 60000})
 	cfg := Config{

@@ -15,13 +15,37 @@ type QueryService struct {
 	srv *control.NetServer
 }
 
+// ServeOptions tunes the TCP query listener's resilience behavior.
+type ServeOptions struct {
+	// IdleTimeout closes a connection that sends no request for this long.
+	// 0 means the 2m default; negative disables the idle deadline.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write. 0 means the 10s default;
+	// negative disables it.
+	WriteTimeout time.Duration
+	// ShedLimit bounds concurrently executing requests; beyond it the
+	// server replies {"error":"overloaded"} instead of queueing (counted in
+	// printqueue_netserver_shed_total). 0 means the default of 256;
+	// negative disables shedding.
+	ShedLimit int
+}
+
 // Serve starts query workers plus a TCP listener on addr (use
 // "127.0.0.1:0" to pick a free port). Queries run concurrently with the
 // data plane; the per-packet path stays lock-free.
 func (s *System) Serve(addr string, workers int) (*QueryService, error) {
+	return s.ServeOpts(addr, workers, ServeOptions{})
+}
+
+// ServeOpts is Serve with explicit listener options.
+func (s *System) ServeOpts(addr string, workers int, opts ServeOptions) (*QueryService, error) {
 	qs := control.NewQueryServer(s.inner)
 	qs.Start(workers)
-	srv, err := control.ServeQueries(addr, qs)
+	srv, err := control.ServeQueriesOpts(addr, qs, control.ServeOptions{
+		IdleTimeout:  opts.IdleTimeout,
+		WriteTimeout: opts.WriteTimeout,
+		ShedLimit:    opts.ShedLimit,
+	})
 	if err != nil {
 		qs.Stop()
 		return nil, err
@@ -41,7 +65,11 @@ func (q *QueryService) Close() error {
 
 // QueryClient talks to a QueryService over TCP. Every round trip carries
 // an I/O deadline (default 5s) so a hung or partitioned QueryService fails
-// a diagnosis quickly instead of blocking it forever.
+// a diagnosis quickly instead of blocking it forever. Queries are
+// idempotent, so failed round trips are retried automatically on a fresh
+// connection with exponential backoff (default 2 retries); requests and
+// responses carry matching ids, so a response delayed past its deadline can
+// never be mistaken for the answer to a later query.
 type QueryClient struct {
 	inner *control.QueryClient
 }
@@ -51,6 +79,15 @@ type DialOptions struct {
 	// Timeout is the per-round-trip I/O deadline. 0 means the 5s default;
 	// negative disables deadlines entirely.
 	Timeout time.Duration
+	// MaxRetries bounds automatic retries after a retryable failure
+	// (timeout, reset, overload). 0 means the default of 2; negative
+	// disables retries.
+	MaxRetries int
+	// BackoffBase is the first retry delay; it doubles per attempt with
+	// jitter. 0 means the 20ms default; negative disables backoff sleeps.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff delay. 0 means the 1s default.
+	BackoffMax time.Duration
 }
 
 // DialQueries connects to a QueryService with default options.
@@ -60,7 +97,12 @@ func DialQueries(addr string) (*QueryClient, error) {
 
 // DialQueriesOpts connects to a QueryService with explicit options.
 func DialQueriesOpts(addr string, opts DialOptions) (*QueryClient, error) {
-	inner, err := control.DialOpts(addr, control.DialOptions{Timeout: opts.Timeout})
+	inner, err := control.DialOpts(addr, control.DialOptions{
+		Timeout:     opts.Timeout,
+		MaxRetries:  opts.MaxRetries,
+		BackoffBase: opts.BackoffBase,
+		BackoffMax:  opts.BackoffMax,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -74,6 +116,14 @@ func (c *QueryClient) Close() error { return c.inner.Close() }
 // an I/O timeout. The server-side view of query health lives on the ops
 // endpoint (printqueue_query_* metrics).
 func (c *QueryClient) Timeouts() int64 { return c.inner.Timeouts() }
+
+// Retries returns how many retry attempts this client has made after
+// retryable failures.
+func (c *QueryClient) Retries() int64 { return c.inner.Retries() }
+
+// Reconnects returns how many times this client has redialed after a
+// connection was poisoned by an I/O error.
+func (c *QueryClient) Reconnects() int64 { return c.inner.Reconnects() }
 
 // reportFromWire converts a wire response into a Report.
 func reportFromWire(counts map[string]float64) (Report, error) {

@@ -84,3 +84,60 @@ func TestDialQueriesError(t *testing.T) {
 		t.Skip("something is listening on port 1")
 	}
 }
+
+// TestServeResilienceEndToEnd exercises the public resilience surface: a
+// server with a short idle timeout closes the client's connection between
+// queries, and the client transparently redials and answers the second
+// query, counting the reconnect.
+func TestServeResilienceEndToEnd(t *testing.T) {
+	pq, err := New(Config{
+		TimeWindows:  TimeWindowConfig{M0: 3, K: 6, Alpha: 1, T: 3, MinPktTxDelay: 10 * time.Nanosecond},
+		QueueMonitor: QueueMonitorConfig{MaxDepthCells: 1024, GranuleCells: 4},
+		Ports:        []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts uint64 = 1000
+	for i := 0; i < 50; i++ {
+		ts += 10
+		pq.Observe(Packet{Flow: testFlow(byte(i % 3)), Bytes: 100, Port: 0}, ts-40, ts, 8)
+	}
+	pq.Finalize(ts + 1)
+
+	svc, err := pq.ServeOpts("127.0.0.1:0", 2, ServeOptions{IdleTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	client, err := DialQueriesOpts(svc.Addr(), DialOptions{
+		Timeout: 2 * time.Second, MaxRetries: 3, BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	first, err := client.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Total() < 45 {
+		t.Fatalf("first query recovered %v packets, want ~50", first.Total())
+	}
+	// Wait out the server's idle deadline so it closes the connection.
+	time.Sleep(300 * time.Millisecond)
+	second, err := client.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatalf("query after idle disconnect: %v", err)
+	}
+	if second.Total() != first.Total() {
+		t.Fatalf("second query recovered %v packets, want %v", second.Total(), first.Total())
+	}
+	if client.Reconnects() < 1 {
+		t.Errorf("Reconnects() = %d after idle disconnect, want >= 1", client.Reconnects())
+	}
+	if client.Retries() < 1 {
+		t.Errorf("Retries() = %d after idle disconnect, want >= 1", client.Retries())
+	}
+}
