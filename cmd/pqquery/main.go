@@ -6,17 +6,37 @@
 //
 //	pqquery -addr 127.0.0.1:7171 interval -port 0 -start 1000000 -end 2000000
 //	pqquery -addr 127.0.0.1:7171 original -port 0 -queue 0 -at 1500000
+//	pqquery -addr 127.0.0.1:7171 -proto json interval -port 0 -start 0 -end 100
+//	pqquery -addr 127.0.0.1:7171 -batch < queries.txt
+//
+// By default pqquery speaks the binary multiplexed v2 wire protocol;
+// -proto json selects the newline-delimited JSON fallback.
+//
+// With -batch, query lines are read from stdin — one query per line in the
+// same syntax as the command line ("interval -port 0 -start 5 -end 9" or
+// "original -port 0 -queue 0 -at 7") — and all of them are sent to the
+// server in a single frame and answered in a single frame.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"printqueue"
 )
+
+// queryClient is the part of the client surface pqquery uses, satisfied by
+// both printqueue.QueryClient (JSON) and printqueue.MuxQueryClient (binary).
+type queryClient interface {
+	Interval(port int, start, end uint64) (printqueue.Report, error)
+	Original(port, queue int, t uint64) (printqueue.Report, error)
+	Close() error
+}
 
 func main() {
 	log.SetFlags(0)
@@ -24,52 +44,140 @@ func main() {
 	top := flag.Int("top", 20, "flows to print")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-round-trip I/O deadline")
 	retries := flag.Int("retries", 2, "retries after a retryable failure (-1 to disable)")
+	proto := flag.String("proto", "binary", "wire protocol: binary or json")
+	batch := flag.Bool("batch", false, "read one query per line from stdin, send as one frame (binary only)")
 	flag.Parse()
-	if flag.NArg() < 1 {
-		log.Fatal("usage: pqquery [-addr host:port] [-timeout 5s] [-retries 2] interval|original [flags]")
+	if flag.NArg() < 1 && !*batch {
+		log.Fatal("usage: pqquery [-addr host:port] [-proto binary|json] [-timeout 5s] [-retries 2] interval|original [flags], or -batch < queries")
 	}
 	if *retries == 0 {
 		*retries = -1 // flag 0 means "no retries"; the option's 0 means default
 	}
+	opts := printqueue.DialOptions{Timeout: *timeout, MaxRetries: *retries}
 
-	client, err := printqueue.DialQueriesOpts(*addr, printqueue.DialOptions{
-		Timeout:    *timeout,
-		MaxRetries: *retries,
-	})
+	var client queryClient
+	var mux *printqueue.MuxQueryClient
+	var err error
+	switch *proto {
+	case "binary":
+		mux, err = printqueue.DialQueriesMuxOpts(*addr, opts)
+		client = mux
+	case "json":
+		client, err = printqueue.DialQueriesOpts(*addr, opts)
+	default:
+		log.Fatalf("unknown -proto %q (want binary or json)", *proto)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 
-	var report printqueue.Report
-	switch flag.Arg(0) {
-	case "interval":
-		fs := flag.NewFlagSet("interval", flag.ExitOnError)
-		port := fs.Int("port", 0, "egress port")
-		start := fs.Uint64("start", 0, "interval start (ns)")
-		end := fs.Uint64("end", 0, "interval end (ns)")
-		fs.Parse(flag.Args()[1:])
-		report, err = client.Interval(*port, *start, *end)
-	case "original":
-		fs := flag.NewFlagSet("original", flag.ExitOnError)
-		port := fs.Int("port", 0, "egress port")
-		queue := fs.Int("queue", 0, "priority queue")
-		at := fs.Uint64("at", 0, "query instant (ns)")
-		fs.Parse(flag.Args()[1:])
-		report, err = client.Original(*port, *queue, *at)
-	default:
-		log.Fatalf("unknown query kind %q (want interval or original)", flag.Arg(0))
+	if *batch {
+		if mux == nil {
+			log.Fatal("-batch requires -proto binary")
+		}
+		runBatch(mux, os.Stdin, *top)
+		return
 	}
+
+	report, err := runOne(client, flag.Arg(0), flag.Args()[1:])
 	if err != nil {
 		log.Fatal(err)
 	}
+	printReport(report, *top)
+}
+
+// runOne executes a single query given its kind and flag-style arguments.
+func runOne(client queryClient, kind string, args []string) (printqueue.Report, error) {
+	q, err := parseQuery(kind, args)
+	if err != nil {
+		return nil, err
+	}
+	switch q.Kind {
+	case "interval":
+		return client.Interval(q.Port, q.Start, q.End)
+	default:
+		return client.Original(q.Port, q.Queue, q.At)
+	}
+}
+
+// parseQuery turns "interval -port 0 -start 5 -end 9" style arguments into
+// a BatchQuery, shared by the single-shot and -batch paths.
+func parseQuery(kind string, args []string) (printqueue.BatchQuery, error) {
+	switch kind {
+	case "interval":
+		fs := flag.NewFlagSet("interval", flag.ContinueOnError)
+		port := fs.Int("port", 0, "egress port")
+		start := fs.Uint64("start", 0, "interval start (ns)")
+		end := fs.Uint64("end", 0, "interval end (ns)")
+		if err := fs.Parse(args); err != nil {
+			return printqueue.BatchQuery{}, err
+		}
+		return printqueue.BatchQuery{Kind: "interval", Port: *port, Start: *start, End: *end}, nil
+	case "original":
+		fs := flag.NewFlagSet("original", flag.ContinueOnError)
+		port := fs.Int("port", 0, "egress port")
+		queue := fs.Int("queue", 0, "priority queue")
+		at := fs.Uint64("at", 0, "query instant (ns)")
+		if err := fs.Parse(args); err != nil {
+			return printqueue.BatchQuery{}, err
+		}
+		return printqueue.BatchQuery{Kind: "original", Port: *port, Queue: *queue, At: *at}, nil
+	default:
+		return printqueue.BatchQuery{}, fmt.Errorf("unknown query kind %q (want interval or original)", kind)
+	}
+}
+
+// runBatch reads one query per line, sends them as a single frame, and
+// prints each answer labelled by its line.
+func runBatch(mux *printqueue.MuxQueryClient, in *os.File, top int) {
+	var queries []printqueue.BatchQuery
+	var lines []string
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		q, err := parseQuery(fields[0], fields[1:])
+		if err != nil {
+			log.Fatalf("query %d (%q): %v", len(queries)+1, line, err)
+		}
+		queries = append(queries, q)
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(queries) == 0 {
+		log.Fatal("no queries on stdin")
+	}
+	results, err := mux.Batch(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exit := 0
+	for i, r := range results {
+		fmt.Printf("[%d] %s\n", i+1, lines[i])
+		if r.Err != nil {
+			fmt.Printf("  error: %v\n", r.Err)
+			exit = 1
+			continue
+		}
+		printReport(r.Report, top)
+	}
+	os.Exit(exit)
+}
+
+func printReport(report printqueue.Report, top int) {
 	if len(report) == 0 {
 		fmt.Println("no culprits")
-		os.Exit(0)
+		return
 	}
 	fmt.Printf("%d culprit flows, %.1f packets total:\n", len(report), report.Total())
 	for i, c := range report {
-		if i == *top {
+		if i == top {
 			break
 		}
 		fmt.Printf("  %-44v %10.1f\n", c.Flow, c.Packets)

@@ -71,11 +71,14 @@ func main() {
 	fmt.Printf("switch: ops endpoint on http://%s (curl /metrics)\n", ops.Addr())
 
 	// --- operator side (would normally be another machine) ---
-	// The client rides out transient network trouble on its own: failed
-	// round trips are retried on a fresh connection with exponential
-	// backoff, and request/response ids keep a late answer from one query
-	// from being mistaken for the next one's.
-	client, err := printqueue.DialQueriesOpts(svc.Addr(), printqueue.DialOptions{
+	// The operator speaks the binary multiplexed v2 wire protocol: one TCP
+	// connection carries any number of concurrent queries, and batches
+	// answer many questions with one frame each way. The client rides out
+	// transient network trouble on its own: failed round trips are retried
+	// on a fresh connection with exponential backoff, and request/response
+	// ids keep a late answer from one query from being mistaken for the
+	// next one's.
+	client, err := printqueue.DialQueriesMuxOpts(svc.Addr(), printqueue.DialOptions{
 		Timeout:     5 * time.Second,
 		MaxRetries:  3,
 		BackoffBase: 50 * time.Millisecond,
@@ -106,11 +109,24 @@ func main() {
 		}
 		fmt.Printf("  %-44v %10.1f\n", c.Flow, c.Packets)
 	}
-	orig, err := client.Original(0, 0, v.EnqTime)
+	// Follow-up questions go out as one batch: a single frame carries the
+	// original-culprit query and a wider interval, and a single frame
+	// brings both answers back.
+	batch, err := client.Batch([]printqueue.BatchQuery{
+		{Kind: "original", Port: 0, Queue: 0, At: v.EnqTime},
+		{Kind: "interval", Port: 0, Start: v.EnqTime - 1000, End: v.DeqTime + 1000},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, r := range batch {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+	}
+	orig := batch[0].Report
 	fmt.Printf("\noperator: %d original culprit flows via the queue monitor\n", len(orig))
+	fmt.Printf("operator: %d flows near the incident (batched with the above)\n", len(batch[1].Report))
 
 	p, r := printqueue.Accuracy(report, tlog.DirectTruth(victims[0]))
 	fmt.Printf("\n(remote answers scored against local ground truth: precision %.2f, recall %.2f)\n", p, r)

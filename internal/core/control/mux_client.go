@@ -1,0 +1,470 @@
+package control
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"printqueue/internal/telemetry"
+)
+
+// MuxClient is the wire-protocol-v2 client: one TCP connection, many
+// requests in flight. Callers from any number of goroutines issue queries
+// concurrently; each request is tagged with a monotonically increasing id,
+// written as one binary frame, and parked in a per-id pending map until
+// the reader goroutine delivers the matching reply — so a connection
+// sustains pipelined throughput bounded by the server's execution rate,
+// not by round-trip latency.
+//
+// The resilience model is PR 4's, adapted to multiplexing:
+//
+//   - Ids make late replies harmless: a reply whose id is no longer
+//     pending (its waiter timed out and moved on) is discarded, never
+//     surfaced to the wrong caller.
+//   - Any transport failure — an I/O error, a torn or undecodable frame —
+//     poisons the connection: every pending request fails with a
+//     retryable error, the socket is closed, and the next attempt
+//     redials. Frames cannot resynchronize mid-stream, so poisoning is
+//     the only safe response to a framing fault.
+//   - A round-trip timeout also poisons: queries execute in microseconds,
+//     so a silent server almost always means a dead or wedged peer, and
+//     failing the other pending requests into their own retry loops is
+//     cheaper than letting them wait out their full deadlines.
+//   - Retries reuse the exponential backoff + jitter machinery, and an
+//     overloaded reply stays retryable on the same connection (framing is
+//     intact; the server answered).
+type MuxClient struct {
+	addr        string
+	timeout     time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	dialer      func(addr string, timeout time.Duration) (net.Conn, error)
+
+	closed atomic.Bool
+
+	// mu guards the connection lifecycle, the id counter, and the pending
+	// map. It is held only for bookkeeping — never across I/O — so round
+	// trips overlap freely.
+	mu      sync.Mutex
+	conn    net.Conn
+	gen     uint64 // bumped per adopted connection; stale poisons no-op
+	broken  bool
+	nextID  uint64
+	pending map[uint64]chan muxReply
+
+	// wmu serializes frame writes (a frame must hit the wire contiguously).
+	wmu sync.Mutex
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+	sleep func(time.Duration) // test hook; time.Sleep
+
+	timeouts, retries, reconnects      atomic.Int64
+	inflight                           atomic.Int64
+	timeoutCtr, retryCtr, reconnectCtr *telemetry.Counter
+}
+
+// muxReply is what the reader goroutine delivers to a waiting round trip.
+type muxReply struct {
+	result BatchResult   // single-query replies
+	batch  []BatchResult // batch replies
+	err    error         // transport-level failure (the connection died)
+}
+
+// muxTimeoutError is the round-trip deadline failure; it satisfies
+// net.Error so the shared retryable/noteTimeout logic treats it like any
+// other I/O timeout.
+type muxTimeoutError struct{}
+
+func (muxTimeoutError) Error() string   { return "control: mux round trip timed out" }
+func (muxTimeoutError) Timeout() bool   { return true }
+func (muxTimeoutError) Temporary() bool { return true }
+
+var errMuxTimeout net.Error = muxTimeoutError{}
+
+// errPoisoned is delivered to pending round trips when a concurrent
+// failure poisons the connection out from under them. It wraps errDesync
+// so it is retryable, without being counted as those waiters' own timeout.
+var errPoisoned = fmt.Errorf("%w: connection poisoned by a concurrent failure", errDesync)
+
+// DialMux connects a multiplexed binary-protocol client with default
+// options.
+func DialMux(addr string) (*MuxClient, error) {
+	return DialMuxOpts(addr, DialOptions{})
+}
+
+// DialMuxOpts connects a MuxClient with explicit options. Like DialOpts,
+// the initial dial is not retried; the retry budget applies per round trip.
+func DialMuxOpts(addr string, opts DialOptions) (*MuxClient, error) {
+	timeout, maxRetries, backoffBase, backoffMax, seed, dialer := opts.resolved()
+	c := &MuxClient{
+		addr:         addr,
+		timeout:      timeout,
+		maxRetries:   maxRetries,
+		backoffBase:  backoffBase,
+		backoffMax:   backoffMax,
+		dialer:       dialer,
+		pending:      make(map[uint64]chan muxReply),
+		rng:          rand.New(rand.NewSource(seed)),
+		sleep:        time.Sleep,
+		timeoutCtr:   opts.Timeouts,
+		retryCtr:     opts.Retries,
+		reconnectCtr: opts.Reconnects,
+	}
+	conn, err := dialer(addr, max(timeout, 0))
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.adoptLocked(conn)
+	c.mu.Unlock()
+	return c, nil
+}
+
+// adoptLocked installs a fresh connection and starts its reader goroutine.
+// Caller holds mu.
+func (c *MuxClient) adoptLocked(conn net.Conn) {
+	c.conn = conn
+	c.gen++
+	c.broken = false
+	go c.readLoop(conn, c.gen)
+}
+
+// Close closes the connection and fails every pending round trip.
+// Subsequent queries fail with net.ErrClosed instead of redialing.
+func (c *MuxClient) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failPendingLocked(net.ErrClosed)
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.broken = true
+	return err
+}
+
+// Timeouts returns how many round trips have hit their deadline.
+func (c *MuxClient) Timeouts() int64 { return c.timeouts.Load() }
+
+// Retries returns how many round-trip attempts were retries.
+func (c *MuxClient) Retries() int64 { return c.retries.Load() }
+
+// Reconnects returns how many times the client redialed after poisoning a
+// connection — the per-connection redial count PR 4 surfaces on the JSON
+// client as well.
+func (c *MuxClient) Reconnects() int64 { return c.reconnects.Load() }
+
+// InFlight returns how many round trips are currently outstanding.
+func (c *MuxClient) InFlight() int64 { return c.inflight.Load() }
+
+// readLoop drains reply frames for one connection generation, delivering
+// each to its pending waiter. Any read or decode failure poisons the
+// connection.
+func (c *MuxClient) readLoop(conn net.Conn, gen uint64) {
+	br := getReader(conn)
+	defer putReader(br)
+	scratch := getBuf()
+	defer func() { putBuf(scratch) }()
+	for {
+		op, payload, err := readFrame(br, scratch, maxFramePayload)
+		scratch = payload[:0]
+		if err != nil {
+			c.poison(gen, err)
+			return
+		}
+		var id uint64
+		var reply muxReply
+		switch op {
+		case opReply:
+			var r BatchResult
+			id, r, err = decodeReply(payload)
+			reply = muxReply{result: r}
+		case opBatchReply:
+			var rs []BatchResult
+			id, rs, err = decodeBatchReply(payload)
+			reply = muxReply{batch: rs}
+		default:
+			err = errBadMagic
+		}
+		if err != nil {
+			c.poison(gen, err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- reply // buffered; a late reply with no waiter is discarded
+		}
+	}
+}
+
+// poison fails every pending round trip of generation gen and closes the
+// connection. A stale generation (the client already redialed) is a no-op,
+// so an old reader unwinding cannot kill a fresh connection.
+func (c *MuxClient) poison(gen uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
+	c.broken = true
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.failPendingLocked(err)
+}
+
+func (c *MuxClient) failPendingLocked(err error) {
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- muxReply{err: err}
+	}
+}
+
+// register ensures a live connection and parks a new id in the pending
+// map, returning the connection to write to and its generation.
+func (c *MuxClient) register() (conn net.Conn, gen, id uint64, ch chan muxReply, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, 0, 0, nil, net.ErrClosed
+	}
+	if c.conn == nil || c.broken {
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		conn, err := c.dialer(c.addr, max(c.timeout, 0))
+		if err != nil {
+			return nil, 0, 0, nil, err
+		}
+		c.adoptLocked(conn)
+		c.reconnects.Add(1)
+		if c.reconnectCtr != nil {
+			c.reconnectCtr.Inc()
+		}
+	}
+	c.nextID++
+	id = c.nextID
+	ch = make(chan muxReply, 1)
+	c.pending[id] = ch
+	return c.conn, c.gen, id, ch, nil
+}
+
+// unregister abandons a pending id (deadline expired). The eventual reply,
+// if any, is discarded by the reader.
+func (c *MuxClient) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// writeFrame writes one frame under the write deadline, serialized against
+// concurrent senders, and recycles buf.
+func (c *MuxClient) writeFrame(conn net.Conn, buf []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	defer putBuf(buf)
+	if c.timeout > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(c.timeout)); err != nil {
+			return err
+		}
+	}
+	_, err := conn.Write(buf)
+	return err
+}
+
+// await blocks for the reply or the round-trip deadline. On deadline it
+// poisons the connection (see the type comment) and reports errMuxTimeout.
+func (c *MuxClient) await(gen, id uint64, ch chan muxReply) (muxReply, error) {
+	var timeoutC <-chan time.Time
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return r, c.noteTimeout(r.err)
+		}
+		return r, nil
+	case <-timeoutC:
+		c.unregister(id)
+		c.timeouts.Add(1)
+		if c.timeoutCtr != nil {
+			c.timeoutCtr.Inc()
+		}
+		c.poison(gen, errPoisoned)
+		return muxReply{}, errMuxTimeout
+	}
+}
+
+// noteTimeout mirrors QueryClient.noteTimeout for transport errors
+// delivered through the pending map.
+func (c *MuxClient) noteTimeout(err error) error {
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		c.timeouts.Add(1)
+		if c.timeoutCtr != nil {
+			c.timeoutCtr.Inc()
+		}
+	}
+	return err
+}
+
+// backoff mirrors QueryClient.backoff; the PRNG is locked because mux
+// round trips retry from many goroutines.
+func (c *MuxClient) backoff(attempt int) time.Duration {
+	d := c.backoffBase
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < attempt && d < c.backoffMax; i++ {
+		d *= 2
+	}
+	if d > c.backoffMax {
+		d = c.backoffMax
+	}
+	half := d / 2
+	c.rngMu.Lock()
+	j := c.rng.Int63n(int64(half) + 1)
+	c.rngMu.Unlock()
+	return half + time.Duration(j)
+}
+
+// roundTrip performs one query with the retry budget. encode builds the
+// request frame for a given id; decode extracts the caller's answer from
+// the delivered reply.
+func (c *MuxClient) roundTrip(encode func(b []byte, id uint64) []byte, decode func(muxReply) (muxReply, error)) (muxReply, error) {
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+	var lastErr error
+	for attempt := 0; attempt <= c.maxRetries; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if c.retryCtr != nil {
+				c.retryCtr.Inc()
+			}
+			if d := c.backoff(attempt); d > 0 {
+				c.sleep(d)
+			}
+		}
+		if c.closed.Load() {
+			return muxReply{}, net.ErrClosed
+		}
+		conn, gen, id, ch, err := c.register()
+		if err != nil {
+			lastErr = err
+			if !retryable(err) {
+				return muxReply{}, err
+			}
+			continue
+		}
+		if err := c.writeFrame(conn, encode(getBuf(), id)); err != nil {
+			c.unregister(id)
+			c.poison(gen, err)
+			lastErr = c.noteTimeout(err)
+			if !retryable(err) {
+				return muxReply{}, err
+			}
+			continue
+		}
+		reply, err := c.await(gen, id, ch)
+		if err == nil {
+			reply, err = decode(reply)
+			if err == nil {
+				return reply, nil
+			}
+		}
+		lastErr = err
+		if !retryable(err) {
+			return muxReply{}, err
+		}
+	}
+	return muxReply{}, lastErr
+}
+
+// query runs one single-query round trip.
+func (c *MuxClient) query(q BatchQuery) (map[string]float64, error) {
+	reply, err := c.roundTrip(
+		func(b []byte, id uint64) []byte { return appendQueryFrame(b, id, q) },
+		func(r muxReply) (muxReply, error) {
+			if r.result.Err != nil {
+				// Application errors (unknown port, empty interval) come
+				// back as-is; ErrOverloaded stays retryable like PR 4.
+				return muxReply{}, r.result.Err
+			}
+			return r, nil
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	counts := reply.result.Counts
+	if counts == nil {
+		counts = make(map[string]float64)
+	}
+	return counts, nil
+}
+
+// Interval queries per-flow packet counts over [start, end) on a port.
+func (c *MuxClient) Interval(port int, start, end uint64) (map[string]float64, error) {
+	return c.query(BatchQuery{Kind: IntervalQuery, Port: port, Start: start, End: end})
+}
+
+// Original queries the original culprits at time t on a port/queue.
+func (c *MuxClient) Original(port, queue int, t uint64) (map[string]float64, error) {
+	return c.query(BatchQuery{Kind: OriginalQuery, Port: port, Queue: queue, Start: t})
+}
+
+// Batch sends many queries in a single frame and returns their answers in
+// request order, one frame back. Transport failures (and whole-batch
+// overload) are retried under the usual budget; per-query application
+// errors come back in the matching BatchResult. An all-overloaded reply is
+// treated as a whole-batch shed and retried.
+func (c *MuxClient) Batch(queries []BatchQuery) ([]BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if len(queries) > maxBatch {
+		return nil, errFrameSize
+	}
+	reply, err := c.roundTrip(
+		func(b []byte, id uint64) []byte { return appendBatchFrame(b, id, queries) },
+		func(r muxReply) (muxReply, error) {
+			if len(r.batch) != len(queries) {
+				return muxReply{}, errTruncated // poisoned by the reader already if torn; defensive
+			}
+			shed := true
+			for i := range r.batch {
+				if r.batch[i].Err != ErrOverloaded {
+					shed = false
+					break
+				}
+			}
+			if shed {
+				return muxReply{}, ErrOverloaded
+			}
+			return r, nil
+		},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for i := range reply.batch {
+		if reply.batch[i].Counts == nil && reply.batch[i].Err == nil {
+			reply.batch[i].Counts = make(map[string]float64)
+		}
+	}
+	return reply.batch, nil
+}

@@ -1,0 +1,345 @@
+package control
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMuxClientRoundTrip(t *testing.T) {
+	srv, ts := netFixture(t)
+	c, err := DialMux(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	counts, err := c.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, n := range counts {
+		total += n
+	}
+	if total < 50 || total > 70 {
+		t.Fatalf("interval total %v, want ~60", total)
+	}
+
+	orig, err := c.Original(0, 0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orig) == 0 {
+		t.Fatal("original query returned nothing")
+	}
+
+	empty, err := c.Interval(0, ts+100, ts+200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty == nil || len(empty) != 0 {
+		t.Fatalf("empty result = %v, want non-nil empty map", empty)
+	}
+
+	if _, err := c.Interval(9, 0, 1); err == nil {
+		t.Fatal("unknown-port query succeeded")
+	}
+	if _, err := c.Interval(0, 5, 5); err == nil {
+		t.Fatal("empty interval succeeded")
+	}
+	if got := srv.binaryConns.Load(); got == 0 {
+		t.Error("binary connection not counted; sniff fell back to JSON?")
+	}
+}
+
+// TestMuxClientPipelined hammers one connection from many goroutines with
+// interleaved full/empty interval queries: every answer must match its own
+// question, which is exactly what the per-id pending map guarantees.
+func TestMuxClientPipelined(t *testing.T) {
+	srv, ts := netFixture(t)
+	c, err := DialMux(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				full := (g+i)%2 == 0
+				var counts map[string]float64
+				var err error
+				if full {
+					counts, err = c.Interval(0, 1000, ts+1)
+				} else {
+					counts, err = c.Interval(0, ts+100, ts+200)
+				}
+				if err != nil {
+					t.Errorf("goroutine %d query %d: %v", g, i, err)
+					return
+				}
+				var total float64
+				for _, n := range counts {
+					total += n
+				}
+				if full && (total < 50 || total > 70) {
+					t.Errorf("goroutine %d query %d: total %v, want ~60 (cross-wired reply?)", g, i, total)
+				}
+				if !full && total != 0 {
+					t.Errorf("goroutine %d query %d: empty interval returned %v packets", g, i, total)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Only one TCP connection carried all of it.
+	if got := srv.binaryConns.Load(); got != 1 {
+		t.Errorf("binary connections = %d, want 1", got)
+	}
+}
+
+func TestMuxClientBatch(t *testing.T) {
+	srv, ts := netFixture(t)
+	_ = srv
+	c, err := DialMux(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	qs := []BatchQuery{
+		{Kind: IntervalQuery, Port: 0, Start: 1000, End: ts + 1},
+		{Kind: IntervalQuery, Port: 0, Start: ts + 100, End: ts + 200},
+		{Kind: IntervalQuery, Port: 9, Start: 0, End: 1}, // per-query error
+		{Kind: OriginalQuery, Port: 0, Queue: 0, Start: ts},
+	}
+	rs, err := c.Batch(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(qs) {
+		t.Fatalf("batch returned %d results, want %d", len(rs), len(qs))
+	}
+	var total float64
+	for _, n := range rs[0].Counts {
+		total += n
+	}
+	if rs[0].Err != nil || total < 50 || total > 70 {
+		t.Fatalf("batch[0] = %+v (total %v), want ~60 packets", rs[0], total)
+	}
+	if rs[1].Err != nil || len(rs[1].Counts) != 0 || rs[1].Counts == nil {
+		t.Fatalf("batch[1] = %+v, want non-nil empty counts", rs[1])
+	}
+	if rs[2].Err == nil {
+		t.Fatal("batch[2] unknown-port query succeeded")
+	}
+	if rs[3].Err != nil || len(rs[3].Counts) == 0 {
+		t.Fatalf("batch[3] = %+v, want original culprits", rs[3])
+	}
+
+	// Zero-query batch is a local no-op.
+	if rs, err := c.Batch(nil); err != nil || rs != nil {
+		t.Fatalf("empty batch = %v, %v", rs, err)
+	}
+	if got := srv.batched.Load(); got != int64(len(qs)) {
+		t.Errorf("batched counter = %d, want %d", got, len(qs))
+	}
+}
+
+// TestMuxClientLateReplyDiscarded forces a round-trip timeout, then
+// verifies the connection was poisoned and the next query — on a fresh
+// connection — gets its own answer, mirroring the PR 4 desync guarantee.
+func TestMuxClientLateReplyDiscarded(t *testing.T) {
+	srv, ts := netFixture(t)
+	c, err := DialMuxOpts(srv.Addr().String(), DialOptions{
+		Timeout:     30 * time.Millisecond,
+		MaxRetries:  -1, // observe the raw timeout
+		BackoffBase: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Saturate the shed limit so the server cannot answer, guaranteeing a
+	// client-side deadline expiry without any server cooperation... except
+	// a shed reply would arrive immediately. Instead, stall the query by
+	// pointing the client at a listener that accepts and stays silent.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = conn // accept and never reply
+		}
+	}()
+	silent, err := DialMuxOpts(ln.Addr().String(), DialOptions{
+		Timeout: 30 * time.Millisecond, MaxRetries: -1, BackoffBase: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	if _, err := silent.Interval(0, 1, 2); err == nil {
+		t.Fatal("query against a silent server succeeded")
+	} else {
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("err = %v, want a timeout", err)
+		}
+	}
+	if silent.Timeouts() != 1 {
+		t.Errorf("timeouts = %d, want 1", silent.Timeouts())
+	}
+
+	// The real client still answers correctly after its peer's timeout
+	// drama — and a retrying client against the real server stays correct.
+	counts, err := c.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, n := range counts {
+		total += n
+	}
+	if total < 50 || total > 70 {
+		t.Fatalf("total %v, want ~60", total)
+	}
+}
+
+// TestMuxClientReconnect severs the connection out from under the client;
+// the next query must redial transparently and count the reconnect.
+func TestMuxClientReconnect(t *testing.T) {
+	srv, ts := netFixture(t)
+	c, err := DialMuxOpts(srv.Addr().String(), DialOptions{
+		Timeout: time.Second, MaxRetries: 2, BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Interval(0, 1000, ts+1); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.conn.Close()
+	c.mu.Unlock()
+	counts, err := c.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatalf("query across severed connection: %v", err)
+	}
+	var total float64
+	for _, n := range counts {
+		total += n
+	}
+	if total < 50 || total > 70 {
+		t.Fatalf("post-reconnect total %v, want ~60", total)
+	}
+	if c.Reconnects() == 0 {
+		t.Error("reconnect not counted")
+	}
+}
+
+// TestMuxClientClose: queries after Close fail fast with net.ErrClosed.
+func TestMuxClientClose(t *testing.T) {
+	srv, _ := netFixture(t)
+	c, err := DialMux(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Interval(0, 1, 2); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("query after Close: %v, want net.ErrClosed", err)
+	}
+	if err := c.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestMuxServerShedsSingleAndBatch saturates the shed limit and checks
+// both ops answer overloaded without executing, then recover.
+func TestMuxServerShedsSingleAndBatch(t *testing.T) {
+	srv, ts := netFixture(t)
+	srv.inflight.Add(int64(srv.opts.ShedLimit)) // saturate
+	c, err := DialMuxOpts(srv.Addr().String(), DialOptions{Timeout: time.Second, MaxRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Interval(0, 1000, ts+1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated single query returned %v, want ErrOverloaded", err)
+	}
+	if _, err := c.Batch([]BatchQuery{{Kind: IntervalQuery, Port: 0, Start: 1000, End: ts + 1}}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("saturated batch returned %v, want ErrOverloaded", err)
+	}
+	srv.inflight.Add(int64(-srv.opts.ShedLimit))
+	if _, err := c.Interval(0, 1000, ts+1); err != nil {
+		t.Fatalf("query after overload cleared: %v", err)
+	}
+	if srv.shed.Load() < 2 {
+		t.Errorf("shed counter = %d, want >= 2", srv.shed.Load())
+	}
+}
+
+// TestMuxServerDropsCorruptStream sends a valid query followed by garbage:
+// the server must answer the query, then drop the connection rather than
+// desync, and the client's pending map must fail cleanly.
+func TestMuxServerDropsCorruptStream(t *testing.T) {
+	srv, ts := netFixture(t)
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	frame := appendQueryFrame(nil, 1, BatchQuery{Kind: IntervalQuery, Port: 0, Start: 1000, End: ts + 1})
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	// Read the reply frame.
+	hdr := make([]byte, frameHeaderLen)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		t.Fatalf("no reply: %v", err)
+	}
+	n := int(binary.BigEndian.Uint32(hdr[2:]))
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		t.Fatal(err)
+	}
+	id, r, err := decodeReply(payload)
+	if err != nil || id != 1 || r.Err != nil {
+		t.Fatalf("reply id=%d err=%v decode=%v", id, r.Err, err)
+	}
+
+	// Now send garbage where a frame header should be.
+	if _, err := conn.Write([]byte("this is not a frame\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The server must close the connection.
+	one := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(one); err == nil {
+		t.Fatal("server kept talking on a corrupt binary stream")
+	}
+	if srv.badRequests.Load() == 0 {
+		t.Error("corrupt frame not counted as a bad request")
+	}
+}

@@ -20,30 +20,48 @@ import (
 // Figure-3 "Asynchronous Query" arrow: higher-layer applications send a
 // request to the analysis program running on the switch CPU.
 //
-// The wire protocol is newline-delimited JSON. Request:
+// Two wire protocols share the listener, negotiated by the first byte of
+// each connection:
 //
-//	{"id":1,"kind":"interval","port":0,"start":1000,"end":2000}
-//	{"id":2,"kind":"original","port":0,"queue":0,"at":1500}
+//   - Wire protocol v2 (first byte 0xB1): length-prefixed binary frames
+//     with true multiplexing — many requests in flight per connection,
+//     dispatched concurrently to the query workers and answered in
+//     completion order, plus a batch op carrying many queries in one
+//     frame. See wire.go for the frame layout and MuxClient for the
+//     matching client.
 //
-// Response:
+//   - v1 fallback (anything else): newline-delimited JSON, one response
+//     per request, in order. Request:
 //
-//	{"id":1,"counts":{"10.0.0.1:80>10.0.0.2:90/tcp":12.5,...}}
-//	{"id":2,"error":"control: port 9 not activated"}
+//     {"id":1,"kind":"interval","port":0,"start":1000,"end":2000}
+//     {"id":2,"kind":"original","port":0,"queue":0,"at":1500}
 //
-// One response per request, in order, per connection. The server echoes the
-// request's id verbatim so a client that abandoned an earlier round trip
-// (e.g. after an I/O timeout) can never mistake the late response for the
-// answer to a newer query.
+//     Response:
+//
+//     {"id":1,"counts":{"10.0.0.1:80>10.0.0.2:90/tcp":12.5,...}}
+//     {"id":2,"error":"control: port 9 not activated"}
+//
+// In both protocols the server echoes the request's id verbatim so a
+// client that abandoned an earlier round trip (e.g. after an I/O timeout)
+// can never mistake the late response for the answer to a newer query.
 type NetServer struct {
 	qs   *QueryServer
 	ln   net.Listener
 	opts ServeOptions
 
 	connections   *telemetry.Counter
+	binaryConns   *telemetry.Counter
 	requests      *telemetry.Counter
 	badRequests   *telemetry.Counter
 	shed          *telemetry.Counter
 	acceptRetries *telemetry.Counter
+	framesRx      *telemetry.Counter
+	framesTx      *telemetry.Counter
+	bytesRx       *telemetry.Counter
+	bytesTx       *telemetry.Counter
+	batched       *telemetry.Counter
+	inflightGauge *telemetry.Gauge
+	connInflight  *telemetry.Gauge
 
 	// inflight counts requests currently submitted to the query server
 	// across all connections; the shed bound compares against it.
@@ -158,6 +176,22 @@ func ServeQueriesListener(ln net.Listener, qs *QueryServer, opts ServeOptions) *
 			"Query requests rejected with {\"error\":\"overloaded\"} because the backlog exceeded the shed limit."),
 		acceptRetries: reg.Counter("printqueue_netserver_accept_retries_total",
 			"Transient accept failures survived by the listener's retry loop."),
+		binaryConns: reg.Counter("printqueue_netserver_binary_connections_total",
+			"TCP query connections negotiated to the binary (v2) framing."),
+		framesRx: reg.Counter("printqueue_netserver_frames_total",
+			"Binary protocol frames processed.", telemetry.L("dir", "rx")),
+		framesTx: reg.Counter("printqueue_netserver_frames_total",
+			"Binary protocol frames processed.", telemetry.L("dir", "tx")),
+		bytesRx: reg.Counter("printqueue_netserver_frame_bytes_total",
+			"Binary protocol bytes processed, headers included.", telemetry.L("dir", "rx")),
+		bytesTx: reg.Counter("printqueue_netserver_frame_bytes_total",
+			"Binary protocol bytes processed, headers included.", telemetry.L("dir", "tx")),
+		batched: reg.Counter("printqueue_netserver_batched_queries_total",
+			"Queries that arrived inside a batch frame."),
+		inflightGauge: reg.Gauge("printqueue_netserver_inflight",
+			"Query requests admitted and currently executing, across all connections."),
+		connInflight: reg.Gauge("printqueue_netserver_conn_inflight_max",
+			"High watermark of requests in flight on a single connection."),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -232,6 +266,28 @@ func (s *NetServer) acceptLoop() {
 // JSON, so a generous cap guards against hostile input.
 const maxLine = 1 << 16
 
+// admit reserves n units of query backlog, shedding if the limit would be
+// exceeded. release returns them.
+func (s *NetServer) admit(n int64) bool {
+	v := s.inflight.Add(n)
+	if s.opts.ShedLimit > 0 && v > int64(s.opts.ShedLimit) {
+		s.inflight.Add(-n)
+		s.shed.Inc()
+		return false
+	}
+	s.inflightGauge.Add(n)
+	return true
+}
+
+func (s *NetServer) release(n int64) {
+	s.inflight.Add(-n)
+	s.inflightGauge.Add(-n)
+}
+
+// handle sniffs the connection's first byte to negotiate the protocol: a
+// binary frame's magic byte can never begin a JSON request, so v2 clients
+// are detected without a handshake round trip and v1 clients fall back to
+// the JSON line protocol transparently.
 func (s *NetServer) handle(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -240,17 +296,42 @@ func (s *NetServer) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	br := bufio.NewReaderSize(conn, 4096)
+	br := getReader(conn)
+	defer putReader(br)
+	if s.opts.IdleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+			return
+		}
+	}
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
+	if first[0] == frameMagic {
+		s.binaryConns.Inc()
+		s.handleBinary(conn, br)
+		return
+	}
+	s.handleJSON(conn, br)
+}
+
+// handleJSON serves the v1 newline-delimited JSON protocol: one request,
+// one response, in order. Line scratch and response encode buffers are
+// pooled and reused across requests.
+func (s *NetServer) handleJSON(conn net.Conn, br *bufio.Reader) {
+	scratch := getBuf()
+	defer func() { putBuf(scratch) }()
 	for {
 		if s.opts.IdleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
 				return
 			}
 		}
-		line, tooLong, err := readLine(br, maxLine)
+		line, tooLong, err := readLine(br, scratch[:0], maxLine)
 		if err != nil {
 			return // peer gone, reset, or idle deadline expired
 		}
+		scratch = line[:0] // keep any capacity readLine grew
 		if tooLong {
 			s.badRequests.Inc()
 			if !s.reply(conn, NetResponse{Error: fmt.Sprintf("bad request: line exceeds %d bytes", maxLine)}) {
@@ -268,13 +349,11 @@ func (s *NetServer) handle(conn net.Conn) {
 		if err := json.Unmarshal(line, &req); err != nil {
 			s.badRequests.Inc()
 			resp = NetResponse{Error: fmt.Sprintf("bad request: %v", err)}
-		} else if n := s.inflight.Add(1); s.opts.ShedLimit > 0 && n > int64(s.opts.ShedLimit) {
-			s.inflight.Add(-1)
-			s.shed.Inc()
+		} else if !s.admit(1) {
 			resp = NetResponse{ID: req.ID, Error: ErrOverloaded.Error()}
 		} else {
 			resp = s.execute(req)
-			s.inflight.Add(-1)
+			s.release(1)
 		}
 		if !s.reply(conn, resp) {
 			return
@@ -282,42 +361,185 @@ func (s *NetServer) handle(conn net.Conn) {
 	}
 }
 
-// reply writes one response line under the write deadline, reporting
-// whether the connection is still usable.
-func (s *NetServer) reply(conn net.Conn, resp NetResponse) bool {
-	buf, err := json.Marshal(resp)
-	if err != nil {
-		return false
+// handleBinary serves wire protocol v2: a reader loop decodes frames and
+// dispatches each request to the query workers concurrently, and a writer
+// goroutine streams replies back in completion order. A frame that fails
+// to decode means the stream can no longer be trusted (unlike JSON lines,
+// frames cannot resynchronize), so the connection is dropped; the client
+// treats that as poison and redials.
+func (s *NetServer) handleBinary(conn net.Conn, br *bufio.Reader) {
+	out := make(chan []byte, 64)
+	writerDone := make(chan struct{})
+	go s.connWriter(conn, out, writerDone)
+	var reqWG sync.WaitGroup
+	var perConn atomic.Int64 // requests in flight on this connection
+	scratch := getBuf()
+loop:
+	for {
+		if s.opts.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
+				break
+			}
+		}
+		op, payload, err := readFrame(br, scratch, maxFramePayload)
+		scratch = payload[:0]
+		if err != nil {
+			if isFrameErr(err) {
+				s.badRequests.Inc()
+			}
+			break
+		}
+		s.framesRx.Inc()
+		s.bytesRx.Add(int64(frameHeaderLen + len(payload)))
+		switch op {
+		case opQuery:
+			id, q, err := decodeQueryRequest(payload)
+			if err != nil {
+				s.badRequests.Inc()
+				break loop
+			}
+			s.requests.Inc()
+			if !s.admit(1) {
+				buf := appendReplyFrame(getBuf(), id, NetResponse{Error: ErrOverloaded.Error()})
+				out <- buf
+				continue
+			}
+			reqWG.Add(1)
+			s.connInflight.Max(perConn.Add(1))
+			go func() {
+				defer reqWG.Done()
+				resp := s.executeWire(q)
+				s.release(1)
+				perConn.Add(-1)
+				out <- appendReplyFrame(getBuf(), id, resp)
+			}()
+		case opBatch:
+			id, qs, err := decodeBatchRequest(payload)
+			if err != nil {
+				s.badRequests.Inc()
+				break loop
+			}
+			s.requests.Add(int64(len(qs)))
+			s.batched.Add(int64(len(qs)))
+			if len(qs) == 0 {
+				out <- appendBatchReplyFrame(getBuf(), id, nil)
+				continue
+			}
+			// A batch is admitted whole: each query counts one unit
+			// against the shed limit, and an over-limit batch sheds in a
+			// single reply rather than executing partially.
+			if !s.admit(int64(len(qs))) {
+				resps := make([]NetResponse, len(qs))
+				for i := range resps {
+					resps[i].Error = ErrOverloaded.Error()
+				}
+				out <- appendBatchReplyFrame(getBuf(), id, resps)
+				continue
+			}
+			reqWG.Add(1)
+			s.connInflight.Max(perConn.Add(int64(len(qs))))
+			go s.serveBatch(id, qs, out, &reqWG, &perConn)
+		default:
+			s.badRequests.Inc()
+			break loop
+		}
 	}
+	// Drain: wait for dispatched requests (their replies flow through out),
+	// then let the writer finish and reclaim its buffers.
+	reqWG.Wait()
+	close(out)
+	<-writerDone
+	putBuf(scratch)
+}
+
+// serveBatch fans a batch's queries out to the query workers concurrently
+// and answers with one frame once every query completes, in request order.
+func (s *NetServer) serveBatch(id uint64, qs []BatchQuery, out chan<- []byte, reqWG *sync.WaitGroup, perConn *atomic.Int64) {
+	defer reqWG.Done()
+	resps := make([]NetResponse, len(qs))
+	var wg sync.WaitGroup
+	for i := range qs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = s.executeWire(qs[i])
+		}(i)
+	}
+	wg.Wait()
+	s.release(int64(len(qs)))
+	perConn.Add(int64(-len(qs)))
+	out <- appendBatchReplyFrame(getBuf(), id, resps)
+}
+
+// connWriter is the per-connection writer goroutine for the binary
+// protocol: it streams completed replies in the order they finish, under
+// the write deadline, recycling each frame buffer. After a write error it
+// keeps draining (and recycling) so dispatched requests never block, but
+// the connection is closed so the reader loop unwinds too.
+func (s *NetServer) connWriter(conn net.Conn, out <-chan []byte, done chan<- struct{}) {
+	defer close(done)
+	dead := false
+	for buf := range out {
+		if !dead {
+			if s.opts.WriteTimeout > 0 {
+				if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
+					dead = true
+				}
+			}
+			if !dead {
+				if _, err := conn.Write(buf); err != nil {
+					dead = true
+				} else {
+					s.framesTx.Inc()
+					s.bytesTx.Add(int64(len(buf)))
+				}
+			}
+			if dead {
+				conn.Close()
+			}
+		}
+		putBuf(buf)
+	}
+}
+
+// reply writes one v1 response line under the write deadline, reporting
+// whether the connection is still usable. The line is encoded into a
+// pooled buffer — no json.Marshal, no fresh slice per reply.
+func (s *NetServer) reply(conn net.Conn, resp NetResponse) bool {
+	buf := appendJSONResponse(getBuf(), resp)
 	buf = append(buf, '\n')
+	defer putBuf(buf)
 	if s.opts.WriteTimeout > 0 {
 		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
 			return false
 		}
 	}
-	_, err = conn.Write(buf)
+	_, err := conn.Write(buf)
 	return err == nil
 }
 
-// readLine reads one newline-terminated line of at most max bytes. An
-// over-long line is consumed through its terminating newline and reported
-// via tooLong, so the connection can answer with an error and keep serving
-// instead of dying silently (the old bufio.Scanner ErrTooLong behavior).
-func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) {
+// readLine reads one newline-terminated line of at most max bytes,
+// appending into buf (typically pooled scratch, so steady-state requests
+// allocate nothing). An over-long line is consumed through its terminating
+// newline and reported via tooLong, so the connection can answer with an
+// error and keep serving instead of dying silently (the old bufio.Scanner
+// ErrTooLong behavior).
+func readLine(br *bufio.Reader, buf []byte, max int) (line []byte, tooLong bool, err error) {
+	line = buf
 	for {
 		frag, err := br.ReadSlice('\n')
 		if !tooLong {
 			line = append(line, frag...)
 			if len(line) > max {
 				tooLong = true
-				line = nil
+				line = line[:0]
 			}
 		}
 		if err == bufio.ErrBufferFull {
 			continue
 		}
 		if err != nil {
-			return nil, false, err // EOF/timeout/reset; drop any partial line
+			return line[:0], false, err // EOF/timeout/reset; drop any partial line
 		}
 		return line, tooLong, nil
 	}
@@ -325,23 +547,44 @@ func readLine(br *bufio.Reader, max int) (line []byte, tooLong bool, err error) 
 
 func (s *NetServer) execute(req NetRequest) NetResponse {
 	resp := NetResponse{ID: req.ID}
-	var res QueryResult
+	var kind QueryKind
 	switch req.Kind {
 	case "interval":
-		res = s.qs.Interval(req.Port, req.Start, req.End)
+		kind = IntervalQuery
 	case "original":
-		res = s.qs.Original(req.Port, req.Queue, req.At)
+		kind = OriginalQuery
 	default:
 		s.badRequests.Inc()
 		resp.Error = fmt.Sprintf("unknown kind %q", req.Kind)
 		return resp
 	}
-	if res.Err != nil {
-		resp.Error = res.Err.Error()
-		return resp
+	at := req.Start
+	if kind == OriginalQuery {
+		at = req.At
 	}
-	resp.Counts = res.Counts
+	wire := s.executeWire(BatchQuery{Kind: kind, Port: req.Port, Queue: req.Queue, Start: at, End: req.End})
+	resp.Counts = wire.Counts
+	resp.Error = wire.Error
 	return resp
+}
+
+// executeWire runs one decoded query on the query workers. For
+// OriginalQuery the instant travels in Start.
+func (s *NetServer) executeWire(q BatchQuery) NetResponse {
+	var res QueryResult
+	switch q.Kind {
+	case IntervalQuery:
+		res = s.qs.Interval(q.Port, q.Start, q.End)
+	case OriginalQuery:
+		res = s.qs.Original(q.Port, q.Queue, q.Start)
+	default:
+		s.badRequests.Inc()
+		return NetResponse{Error: fmt.Sprintf("unknown kind %d", q.Kind)}
+	}
+	if res.Err != nil {
+		return NetResponse{Error: res.Err.Error()}
+	}
+	return NetResponse{Counts: res.Counts}
 }
 
 // Client-side resilience defaults. Queries are read-only and idempotent, so
@@ -425,10 +668,14 @@ type QueryClient struct {
 
 	// mu serializes round trips: one request/response exchange owns the
 	// connection (and retry loop) at a time.
-	mu     sync.Mutex
-	conn   net.Conn
+	mu   sync.Mutex
+	conn net.Conn
+	// br and wbuf persist across redials: adopt resets the reader onto the
+	// new connection and the encode buffer is reused in place, so a
+	// flapping connection no longer allocates a fresh bufio.Reader +
+	// json.Encoder pair per redial while the old pair's buffers linger.
 	br     *bufio.Reader
-	enc    *json.Encoder
+	wbuf   []byte
 	broken bool
 	lastID uint64
 	rng    *rand.Rand
@@ -443,40 +690,47 @@ func Dial(addr string) (*QueryClient, error) {
 	return DialOpts(addr, DialOptions{})
 }
 
-// DialOpts connects to a NetServer with explicit options. The initial dial
-// is not retried (so a misconfigured address fails fast); the retry budget
-// applies to round trips.
-func DialOpts(addr string, opts DialOptions) (*QueryClient, error) {
-	timeout := opts.Timeout
+// resolved applies the option defaults shared by the JSON QueryClient and
+// the binary MuxClient.
+func (o DialOptions) resolved() (timeout time.Duration, maxRetries int, backoffBase, backoffMax time.Duration, seed int64, dialer func(string, time.Duration) (net.Conn, error)) {
+	timeout = o.Timeout
 	if timeout == 0 {
 		timeout = DefaultDialTimeout
 	}
-	maxRetries := opts.MaxRetries
+	maxRetries = o.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = DefaultMaxRetries
 	} else if maxRetries < 0 {
 		maxRetries = 0
 	}
-	backoffBase := opts.BackoffBase
+	backoffBase = o.BackoffBase
 	if backoffBase == 0 {
 		backoffBase = DefaultBackoffBase
 	} else if backoffBase < 0 {
 		backoffBase = 0
 	}
-	backoffMax := opts.BackoffMax
+	backoffMax = o.BackoffMax
 	if backoffMax == 0 {
 		backoffMax = DefaultBackoffMax
 	}
-	seed := opts.Seed
+	seed = o.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	dialer := opts.Dialer
+	dialer = o.Dialer
 	if dialer == nil {
 		dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
+	return
+}
+
+// DialOpts connects to a NetServer with explicit options. The initial dial
+// is not retried (so a misconfigured address fails fast); the retry budget
+// applies to round trips.
+func DialOpts(addr string, opts DialOptions) (*QueryClient, error) {
+	timeout, maxRetries, backoffBase, backoffMax, seed, dialer := opts.resolved()
 	c := &QueryClient{
 		addr:         addr,
 		timeout:      timeout,
@@ -499,11 +753,14 @@ func DialOpts(addr string, opts DialOptions) (*QueryClient, error) {
 }
 
 // adopt installs a fresh connection (caller holds mu, or the client is not
-// yet shared).
+// yet shared), reusing the previous connection's read buffer.
 func (c *QueryClient) adopt(conn net.Conn) {
 	c.conn = conn
-	c.br = bufio.NewReader(conn)
-	c.enc = json.NewEncoder(conn)
+	if c.br == nil {
+		c.br = bufio.NewReaderSize(conn, 4096)
+	} else {
+		c.br.Reset(conn)
+	}
 	c.broken = false
 }
 
@@ -579,7 +836,9 @@ func (c *QueryClient) attempt(req NetRequest) (map[string]float64, error) {
 			return nil, err
 		}
 	}
-	if err := c.enc.Encode(req); err != nil {
+	c.wbuf = appendJSONRequest(c.wbuf[:0], req)
+	c.wbuf = append(c.wbuf, '\n')
+	if _, err := c.conn.Write(c.wbuf); err != nil {
 		c.poison()
 		return nil, c.noteTimeout(err)
 	}

@@ -1,0 +1,560 @@
+package control
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Wire protocol v2: a length-prefixed binary framing for the query plane.
+//
+// The v1 protocol (newline-delimited JSON, one outstanding request per
+// connection) pays a full serialize/RTT/parse round trip per query, so a
+// narrow diagnosis query that takes ~1µs to *compute* costs tens of
+// microseconds to *deliver*. v2 frames allow true multiplexing — many
+// requests in flight over one connection, answered in completion order —
+// plus a batch op that carries many queries in a single frame.
+//
+// Frame layout (both directions):
+//
+//	+-------+------+----------------+-----------------+
+//	| magic |  op  | payload length |     payload     |
+//	| 0xB1  | 1 B  |  uint32 BE     | length bytes    |
+//	+-------+------+----------------+-----------------+
+//
+// The magic byte 0xB1 can never begin a JSON request (which starts with
+// '{' or whitespace), so a server can sniff the first byte of a connection
+// and fall back to the v1 JSON line protocol — the negotiated-fallback
+// path old clients keep using.
+//
+// Payloads are varint-packed:
+//
+//	opQuery:      id, kind(1B), port, queue, start, end
+//	opBatch:      id, n, then n × (kind(1B), port, queue, start, end)
+//	opReply:      id, status(1B); status 1 → errlen, error bytes
+//	                              status 0 → counts (below)
+//	opBatchReply: id, n, then n × reply body (status + error/counts)
+//
+// Count maps encode as n × (keylen, key bytes, countbits) where countbits
+// is ReverseBytes64(Float64bits(v)) varint-packed: typical counts are
+// small integers or low-precision fractions whose mantissa tail is zero,
+// so the byte-reversed bit pattern is tiny and the varint stays 1–3 bytes
+// instead of a fixed 8. Keys are copied straight from the flow-string map
+// key into the frame — no map → JSON round trip, no per-key allocation.
+const (
+	frameMagic byte = 0xB1
+
+	opQuery      byte = 0x01
+	opBatch      byte = 0x02
+	opReply      byte = 0x81
+	opBatchReply byte = 0x82
+
+	// frameHeaderLen is magic + op + uint32 payload length.
+	frameHeaderLen = 6
+
+	// maxFramePayload bounds one frame's payload; a reply carrying every
+	// flow of a huge history fits well under it, and a torn or hostile
+	// length field cannot make a peer allocate unbounded memory.
+	maxFramePayload = 1 << 24
+
+	// maxBatch bounds the query count in one batch frame.
+	maxBatch = 1 << 16
+)
+
+// Frame-level decode errors. They mean the stream itself can no longer be
+// trusted — unlike an application error, which travels inside a reply —
+// so both peers treat them as poison: the server drops the connection, the
+// client fails pending requests and redials.
+var (
+	errBadMagic  = errors.New("control: bad frame magic")
+	errFrameSize = errors.New("control: frame exceeds size limit")
+	errTruncated = errors.New("control: truncated frame payload")
+)
+
+// isFrameErr reports whether err is a protocol-level decode failure (as
+// opposed to an I/O error).
+func isFrameErr(err error) bool {
+	return errors.Is(err, errBadMagic) || errors.Is(err, errFrameSize) || errors.Is(err, errTruncated)
+}
+
+// wireBufPool recycles frame encode buffers and per-connection scratch.
+// Entries are pointers so Put does not allocate a box per call.
+var wireBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getBuf() []byte {
+	return (*wireBufPool.Get().(*[]byte))[:0]
+}
+
+func putBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxFramePayload {
+		return // don't pin giant one-off buffers in the pool
+	}
+	b = b[:0]
+	wireBufPool.Put(&b)
+}
+
+// readerPool recycles per-connection bufio.Readers so accepting (or
+// redialing) a connection stops allocating a fresh 4 KiB buffer each time.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nilReader, 4096) },
+}
+
+// nilReader detaches a pooled bufio.Reader from its connection so the pool
+// does not pin closed conns.
+var nilReader = strings.NewReader("")
+
+func getReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putReader(br *bufio.Reader) {
+	br.Reset(nilReader)
+	readerPool.Put(br)
+}
+
+// beginFrame appends a frame header with a zero length placeholder and
+// returns the payload start offset for endFrame to patch.
+func beginFrame(b []byte, op byte) ([]byte, int) {
+	b = append(b, frameMagic, op, 0, 0, 0, 0)
+	return b, len(b)
+}
+
+// endFrame patches the payload length of the frame opened at payloadStart.
+func endFrame(b []byte, payloadStart int) []byte {
+	binary.BigEndian.PutUint32(b[payloadStart-4:payloadStart], uint32(len(b)-payloadStart))
+	return b
+}
+
+// readFrame reads one frame, reusing scratch's capacity for the payload.
+// The returned payload is only valid until the next readFrame on the same
+// scratch; callers must fully decode before reading again.
+func readFrame(br *bufio.Reader, scratch []byte, maxPayload int) (op byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, scratch, err
+	}
+	if hdr[0] != frameMagic {
+		return 0, scratch, errBadMagic
+	}
+	n := int(binary.BigEndian.Uint32(hdr[2:frameHeaderLen]))
+	if n > maxPayload {
+		return 0, scratch, fmt.Errorf("%w: %d bytes", errFrameSize, n)
+	}
+	if cap(scratch) < n {
+		scratch = make([]byte, n)
+	}
+	payload = scratch[:n]
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, payload, err
+	}
+	return hdr[1], payload, nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// uvarint decodes one varint from p, returning the remainder.
+func uvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errTruncated
+	}
+	return v, p[n:], nil
+}
+
+// uvarintInt decodes a varint that must fit a non-negative int32-ranged
+// int (ports, queues, counts) so hostile input cannot wrap negative.
+func uvarintInt(p []byte) (int, []byte, error) {
+	v, rest, err := uvarint(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	if v > math.MaxInt32 {
+		return 0, nil, errTruncated
+	}
+	return int(v), rest, nil
+}
+
+// countBits maps a float64 count to its varint-friendly wire form and back:
+// byte-reversing the IEEE bits moves the (usually zero) mantissa tail into
+// the high bits, so whole and low-precision counts varint-pack in a byte
+// or three.
+func countBits(v float64) uint64             { return bits.ReverseBytes64(math.Float64bits(v)) }
+func countFromBits(u uint64) float64         { return math.Float64frombits(bits.ReverseBytes64(u)) }
+func appendCount(b []byte, v float64) []byte { return appendUvarint(b, countBits(v)) }
+
+// appendCounts encodes a count map as n × (keylen, key, countbits).
+func appendCounts(b []byte, counts map[string]float64) []byte {
+	b = appendUvarint(b, uint64(len(counts)))
+	for k, v := range counts {
+		b = appendUvarint(b, uint64(len(k)))
+		b = append(b, k...)
+		b = appendCount(b, v)
+	}
+	return b
+}
+
+// decodeCounts decodes a count map, returning the remainder of p.
+func decodeCounts(p []byte) (map[string]float64, []byte, error) {
+	n, p, err := uvarintInt(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		var klen int
+		klen, p, err = uvarintInt(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if klen > len(p) {
+			return nil, nil, errTruncated
+		}
+		key := string(p[:klen])
+		p = p[klen:]
+		var u uint64
+		u, p, err = uvarint(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		m[key] = countFromBits(u)
+	}
+	return m, p, nil
+}
+
+// BatchQuery is one query inside a batch frame (and the internal form of a
+// single binary query). For OriginalQuery the instant goes in Start.
+type BatchQuery struct {
+	Kind        QueryKind
+	Port, Queue int
+	Start, End  uint64
+}
+
+// BatchResult is one query's answer inside a batch reply.
+type BatchResult struct {
+	Counts map[string]float64
+	Err    error
+}
+
+// appendQueryBody encodes one query tuple (shared by opQuery and opBatch).
+func appendQueryBody(b []byte, q BatchQuery) []byte {
+	b = append(b, byte(q.Kind))
+	b = appendUvarint(b, uint64(q.Port))
+	b = appendUvarint(b, uint64(q.Queue))
+	b = appendUvarint(b, q.Start)
+	b = appendUvarint(b, q.End)
+	return b
+}
+
+// decodeQueryBody decodes one query tuple, returning the remainder.
+func decodeQueryBody(p []byte) (BatchQuery, []byte, error) {
+	var q BatchQuery
+	if len(p) < 1 {
+		return q, nil, errTruncated
+	}
+	kind := p[0]
+	if kind > byte(OriginalQuery) {
+		return q, nil, fmt.Errorf("%w: unknown query kind %d", errTruncated, kind)
+	}
+	q.Kind = QueryKind(kind)
+	p = p[1:]
+	var err error
+	if q.Port, p, err = uvarintInt(p); err != nil {
+		return q, nil, err
+	}
+	if q.Queue, p, err = uvarintInt(p); err != nil {
+		return q, nil, err
+	}
+	if q.Start, p, err = uvarint(p); err != nil {
+		return q, nil, err
+	}
+	if q.End, p, err = uvarint(p); err != nil {
+		return q, nil, err
+	}
+	return q, p, nil
+}
+
+// appendQueryFrame encodes a single-query request frame.
+func appendQueryFrame(b []byte, id uint64, q BatchQuery) []byte {
+	b, at := beginFrame(b, opQuery)
+	b = appendUvarint(b, id)
+	b = appendQueryBody(b, q)
+	return endFrame(b, at)
+}
+
+// decodeQueryRequest decodes an opQuery payload.
+func decodeQueryRequest(p []byte) (id uint64, q BatchQuery, err error) {
+	if id, p, err = uvarint(p); err != nil {
+		return 0, q, err
+	}
+	if q, p, err = decodeQueryBody(p); err != nil {
+		return 0, q, err
+	}
+	if len(p) != 0 {
+		return 0, q, errTruncated
+	}
+	return id, q, nil
+}
+
+// appendBatchFrame encodes a batch request frame: many queries, one id,
+// one round trip.
+func appendBatchFrame(b []byte, id uint64, qs []BatchQuery) []byte {
+	b, at := beginFrame(b, opBatch)
+	b = appendUvarint(b, id)
+	b = appendUvarint(b, uint64(len(qs)))
+	for _, q := range qs {
+		b = appendQueryBody(b, q)
+	}
+	return endFrame(b, at)
+}
+
+// decodeBatchRequest decodes an opBatch payload.
+func decodeBatchRequest(p []byte) (id uint64, qs []BatchQuery, err error) {
+	if id, p, err = uvarint(p); err != nil {
+		return 0, nil, err
+	}
+	n, p, err := uvarintInt(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > maxBatch {
+		return 0, nil, fmt.Errorf("%w: batch of %d queries", errFrameSize, n)
+	}
+	qs = make([]BatchQuery, n)
+	for i := range qs {
+		if qs[i], p, err = decodeQueryBody(p); err != nil {
+			return 0, nil, err
+		}
+	}
+	if len(p) != 0 {
+		return 0, nil, errTruncated
+	}
+	return id, qs, nil
+}
+
+// appendReplyBody encodes one reply body: status byte, then error string
+// or counts.
+func appendReplyBody(b []byte, resp NetResponse) []byte {
+	if resp.Error != "" {
+		b = append(b, 1)
+		b = appendUvarint(b, uint64(len(resp.Error)))
+		b = append(b, resp.Error...)
+		return b
+	}
+	b = append(b, 0)
+	return appendCounts(b, resp.Counts)
+}
+
+// decodeReplyBody decodes one reply body, returning the remainder. An
+// error reply comes back with a non-nil Err and nil Counts; an ok reply
+// always has a non-nil (possibly empty) Counts map, matching the JSON
+// client's normalization.
+func decodeReplyBody(p []byte) (BatchResult, []byte, error) {
+	var r BatchResult
+	if len(p) < 1 {
+		return r, nil, errTruncated
+	}
+	status := p[0]
+	p = p[1:]
+	switch status {
+	case 0:
+		var err error
+		if r.Counts, p, err = decodeCounts(p); err != nil {
+			return r, nil, err
+		}
+	case 1:
+		elen, p2, err := uvarintInt(p)
+		if err != nil {
+			return r, nil, err
+		}
+		if elen > len(p2) {
+			return r, nil, errTruncated
+		}
+		msg := string(p2[:elen])
+		p = p2[elen:]
+		if msg == ErrOverloaded.Error() {
+			r.Err = ErrOverloaded
+		} else {
+			r.Err = errors.New(msg)
+		}
+	default:
+		return r, nil, fmt.Errorf("%w: unknown reply status %d", errTruncated, status)
+	}
+	return r, p, nil
+}
+
+// appendReplyFrame encodes a single-query reply frame.
+func appendReplyFrame(b []byte, id uint64, resp NetResponse) []byte {
+	b, at := beginFrame(b, opReply)
+	b = appendUvarint(b, id)
+	b = appendReplyBody(b, resp)
+	return endFrame(b, at)
+}
+
+// decodeReply decodes an opReply payload.
+func decodeReply(p []byte) (id uint64, r BatchResult, err error) {
+	if id, p, err = uvarint(p); err != nil {
+		return 0, r, err
+	}
+	if r, p, err = decodeReplyBody(p); err != nil {
+		return 0, r, err
+	}
+	if len(p) != 0 {
+		return 0, r, errTruncated
+	}
+	return id, r, nil
+}
+
+// appendBatchReplyFrame encodes a batch reply frame: one body per query,
+// in request order.
+func appendBatchReplyFrame(b []byte, id uint64, resps []NetResponse) []byte {
+	b, at := beginFrame(b, opBatchReply)
+	b = appendUvarint(b, id)
+	b = appendUvarint(b, uint64(len(resps)))
+	for _, resp := range resps {
+		b = appendReplyBody(b, resp)
+	}
+	return endFrame(b, at)
+}
+
+// decodeBatchReply decodes an opBatchReply payload.
+func decodeBatchReply(p []byte) (id uint64, rs []BatchResult, err error) {
+	if id, p, err = uvarint(p); err != nil {
+		return 0, nil, err
+	}
+	n, p, err := uvarintInt(p)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > maxBatch {
+		return 0, nil, fmt.Errorf("%w: batch reply of %d results", errFrameSize, n)
+	}
+	rs = make([]BatchResult, n)
+	for i := range rs {
+		if rs[i], p, err = decodeReplyBody(p); err != nil {
+			return 0, nil, err
+		}
+	}
+	if len(p) != 0 {
+		return 0, nil, errTruncated
+	}
+	return id, rs, nil
+}
+
+// --- JSON fallback encode ---
+//
+// The v1 line protocol stays on the same listener, but its responses no
+// longer pay json.Marshal's fresh allocation per reply: the server encodes
+// into a pooled buffer with the append-style helpers below. The output is
+// plain JSON any v1 client decodes; floats use the shortest representation
+// that round-trips the exact bit pattern, so JSON and binary codecs return
+// bit-equal counts.
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a quoted JSON string, escaping quotes,
+// backslashes, and control characters (flow strings are plain ASCII, but
+// the error path may carry arbitrary bytes).
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"' || c == '\\':
+			b = append(b, '\\', c)
+		case c < 0x20:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// appendJSONResponse appends a NetResponse with the same omitempty shape
+// json.Marshal produced.
+func appendJSONResponse(b []byte, resp NetResponse) []byte {
+	b = append(b, '{')
+	first := true
+	if resp.ID != 0 {
+		b = append(b, `"id":`...)
+		b = strconv.AppendUint(b, resp.ID, 10)
+		first = false
+	}
+	if len(resp.Counts) > 0 {
+		if !first {
+			b = append(b, ',')
+		}
+		b = append(b, `"counts":{`...)
+		firstKey := true
+		for k, v := range resp.Counts {
+			if !firstKey {
+				b = append(b, ',')
+			}
+			b = appendJSONString(b, k)
+			b = append(b, ':')
+			b = strconv.AppendFloat(b, v, 'g', -1, 64)
+			firstKey = false
+		}
+		b = append(b, '}')
+		first = false
+	}
+	if resp.Error != "" {
+		if !first {
+			b = append(b, ',')
+		}
+		b = append(b, `"error":`...)
+		b = appendJSONString(b, resp.Error)
+	}
+	return append(b, '}')
+}
+
+// appendJSONRequest appends a NetRequest with the same omitempty shape
+// json.Marshal produced, so the client's reused encode buffer speaks the
+// exact v1 wire format.
+func appendJSONRequest(b []byte, req NetRequest) []byte {
+	b = append(b, '{')
+	if req.ID != 0 {
+		b = append(b, `"id":`...)
+		b = strconv.AppendUint(b, req.ID, 10)
+		b = append(b, ',')
+	}
+	b = append(b, `"kind":`...)
+	b = appendJSONString(b, req.Kind)
+	b = append(b, `,"port":`...)
+	b = strconv.AppendInt(b, int64(req.Port), 10)
+	if req.Queue != 0 {
+		b = append(b, `,"queue":`...)
+		b = strconv.AppendInt(b, int64(req.Queue), 10)
+	}
+	if req.Start != 0 {
+		b = append(b, `,"start":`...)
+		b = strconv.AppendUint(b, req.Start, 10)
+	}
+	if req.End != 0 {
+		b = append(b, `,"end":`...)
+		b = strconv.AppendUint(b, req.End, 10)
+	}
+	if req.At != 0 {
+		b = append(b, `,"at":`...)
+		b = strconv.AppendUint(b, req.At, 10)
+	}
+	return append(b, '}')
+}

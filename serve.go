@@ -1,6 +1,7 @@
 package printqueue
 
 import (
+	"fmt"
 	"time"
 
 	"printqueue/internal/core/control"
@@ -8,8 +9,10 @@ import (
 
 // QueryService is a running TCP endpoint for asynchronous queries: the
 // paper's Figure-3 path where higher-layer applications send requests to
-// the analysis program on the switch CPU. The wire protocol is
-// newline-delimited JSON; see QueryClient for the matching client.
+// the analysis program on the switch CPU. One listener speaks two wire
+// protocols, negotiated by the first byte of each connection: the binary
+// multiplexed v2 protocol (see MuxQueryClient) and newline-delimited JSON
+// (see QueryClient), which remains as the fallback.
 type QueryService struct {
 	qs  *control.QueryServer
 	srv *control.NetServer
@@ -124,6 +127,128 @@ func (c *QueryClient) Retries() int64 { return c.inner.Retries() }
 // Reconnects returns how many times this client has redialed after a
 // connection was poisoned by an I/O error.
 func (c *QueryClient) Reconnects() int64 { return c.inner.Reconnects() }
+
+// MuxQueryClient talks to a QueryService over the binary v2 wire protocol
+// with true multiplexing: many queries may be in flight on one TCP
+// connection at once (call it concurrently from any number of goroutines),
+// and Batch answers many queries with a single frame in each direction.
+// It keeps the QueryClient resilience contract — per-round-trip deadlines,
+// automatic retries with backoff, and id-matched responses so a late reply
+// is never mistaken for a later query's answer.
+type MuxQueryClient struct {
+	inner *control.MuxClient
+}
+
+// DialQueriesMux connects a multiplexed binary client with default options.
+func DialQueriesMux(addr string) (*MuxQueryClient, error) {
+	return DialQueriesMuxOpts(addr, DialOptions{})
+}
+
+// DialQueriesMuxOpts connects a multiplexed binary client with explicit
+// options. The options have the same meaning as for DialQueriesOpts.
+func DialQueriesMuxOpts(addr string, opts DialOptions) (*MuxQueryClient, error) {
+	inner, err := control.DialMuxOpts(addr, control.DialOptions{
+		Timeout:     opts.Timeout,
+		MaxRetries:  opts.MaxRetries,
+		BackoffBase: opts.BackoffBase,
+		BackoffMax:  opts.BackoffMax,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &MuxQueryClient{inner: inner}, nil
+}
+
+// Close closes the connection and fails any in-flight queries.
+func (c *MuxQueryClient) Close() error { return c.inner.Close() }
+
+// Timeouts returns how many round trips have failed with an I/O timeout.
+func (c *MuxQueryClient) Timeouts() int64 { return c.inner.Timeouts() }
+
+// Retries returns how many retry attempts this client has made.
+func (c *MuxQueryClient) Retries() int64 { return c.inner.Retries() }
+
+// Reconnects returns how many times this client has redialed after a
+// connection was poisoned.
+func (c *MuxQueryClient) Reconnects() int64 { return c.inner.Reconnects() }
+
+// InFlight returns the number of queries currently awaiting replies.
+func (c *MuxQueryClient) InFlight() int64 { return c.inner.InFlight() }
+
+// Interval queries per-flow packet counts dequeued during [start, end) on a
+// port. Safe for concurrent use; concurrent calls share the connection.
+func (c *MuxQueryClient) Interval(port int, start, end uint64) (Report, error) {
+	counts, err := c.inner.Interval(port, start, end)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromWire(counts)
+}
+
+// Original queries the original causes of congestion at time t.
+func (c *MuxQueryClient) Original(port, queue int, t uint64) (Report, error) {
+	counts, err := c.inner.Original(port, queue, t)
+	if err != nil {
+		return nil, err
+	}
+	return reportFromWire(counts)
+}
+
+// BatchQuery is one query in a Batch call. Kind is "interval" (Port,
+// Start, End) or "original" (Port, Queue, At).
+type BatchQuery struct {
+	Kind  string
+	Port  int
+	Queue int
+	Start uint64
+	End   uint64
+	At    uint64
+}
+
+// BatchResult is the answer to the BatchQuery at the same index: a Report
+// or a per-query error. A per-query error never fails the whole batch.
+type BatchResult struct {
+	Report Report
+	Err    error
+}
+
+// Batch sends every query in one request frame and decodes every answer
+// from one response frame, preserving order. It is the cheapest way to ask
+// many questions: framing, syscalls, and round-trip latency are amortized
+// across the whole batch.
+func (c *MuxQueryClient) Batch(queries []BatchQuery) ([]BatchResult, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	wire := make([]control.BatchQuery, len(queries))
+	for i, q := range queries {
+		switch q.Kind {
+		case "interval":
+			wire[i] = control.BatchQuery{Kind: control.IntervalQuery, Port: q.Port, Start: q.Start, End: q.End}
+		case "original":
+			wire[i] = control.BatchQuery{Kind: control.OriginalQuery, Port: q.Port, Queue: q.Queue, Start: q.At}
+		default:
+			return nil, fmt.Errorf("batch query %d: unknown kind %q", i, q.Kind)
+		}
+	}
+	rs, err := c.inner.Batch(wire)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BatchResult, len(rs))
+	for i, r := range rs {
+		if r.Err != nil {
+			out[i] = BatchResult{Err: r.Err}
+			continue
+		}
+		rep, err := reportFromWire(r.Counts)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = BatchResult{Report: rep}
+	}
+	return out, nil
+}
 
 // reportFromWire converts a wire response into a Report.
 func reportFromWire(counts map[string]float64) (Report, error) {

@@ -79,6 +79,93 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestServeMuxEndToEnd drives the same fixture through the binary
+// multiplexed client: single queries, a mixed batch, and agreement with
+// the JSON client on the same listener.
+func TestServeMuxEndToEnd(t *testing.T) {
+	pq, err := New(Config{
+		TimeWindows:  TimeWindowConfig{M0: 3, K: 6, Alpha: 1, T: 3, MinPktTxDelay: 10 * time.Nanosecond},
+		QueueMonitor: QueueMonitorConfig{MaxDepthCells: 1024, GranuleCells: 4},
+		Ports:        []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ts uint64 = 1000
+	for i := 0; i < 50; i++ {
+		ts += 10
+		pq.Observe(Packet{Flow: testFlow(byte(i % 3)), Bytes: 100, Port: 0}, ts-40, ts, 8)
+	}
+	pq.Finalize(ts + 1)
+
+	svc, err := pq.Serve("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	mux, err := DialQueriesMux(svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+	jsonc, err := DialQueries(svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jsonc.Close()
+
+	viaMux, err := mux.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := jsonc.Interval(0, 1000, ts+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaMux) != len(viaJSON) {
+		t.Fatalf("mux %d flows, json %d", len(viaMux), len(viaJSON))
+	}
+	for i := range viaJSON {
+		if viaMux[i] != viaJSON[i] {
+			t.Fatalf("entry %d differs across protocols: %+v vs %+v", i, viaMux[i], viaJSON[i])
+		}
+	}
+
+	rs, err := mux.Batch([]BatchQuery{
+		{Kind: "interval", Port: 0, Start: 1000, End: ts + 1},
+		{Kind: "original", Port: 0, Queue: 0, At: ts},
+		{Kind: "interval", Port: 7, Start: 0, End: 1}, // per-query error
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(rs))
+	}
+	if rs[0].Err != nil || rs[0].Report.Total() != viaJSON.Total() {
+		t.Fatalf("batch[0] = %+v, want the interval report", rs[0])
+	}
+	if rs[1].Err != nil || rs[1].Report.Total() == 0 {
+		t.Fatalf("batch[1] = %+v, want original culprits", rs[1])
+	}
+	if rs[2].Err == nil {
+		t.Fatal("batch[2] bad-port query succeeded")
+	}
+	if _, err := mux.Batch([]BatchQuery{{Kind: "bogus"}}); err == nil {
+		t.Fatal("unknown batch kind accepted")
+	}
+	if rs, err := mux.Batch(nil); rs != nil || err != nil {
+		t.Fatalf("empty batch = %v, %v", rs, err)
+	}
+	if mux.InFlight() != 0 {
+		t.Errorf("InFlight() = %d at rest, want 0", mux.InFlight())
+	}
+	_ = mux.Timeouts()
+	_ = mux.Retries()
+	_ = mux.Reconnects()
+}
+
 func TestDialQueriesError(t *testing.T) {
 	if _, err := DialQueries("127.0.0.1:1"); err == nil {
 		t.Skip("something is listening on port 1")
