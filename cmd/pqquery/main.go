@@ -46,14 +46,20 @@ func main() {
 	retries := flag.Int("retries", 2, "retries after a retryable failure (-1 to disable)")
 	proto := flag.String("proto", "binary", "wire protocol: binary or json")
 	batch := flag.Bool("batch", false, "read one query per line from stdin, send as one frame (binary only)")
+	trace := flag.Bool("trace", false, "trace every query end to end and print the joined client+server span tree")
 	flag.Parse()
 	if flag.NArg() < 1 && !*batch {
-		log.Fatal("usage: pqquery [-addr host:port] [-proto binary|json] [-timeout 5s] [-retries 2] interval|original [flags], or -batch < queries")
+		log.Fatal("usage: pqquery [-addr host:port] [-proto binary|json] [-timeout 5s] [-retries 2] [-trace] interval|original [flags], or -batch < queries")
 	}
 	if *retries == 0 {
 		*retries = -1 // flag 0 means "no retries"; the option's 0 means default
 	}
 	opts := printqueue.DialOptions{Timeout: *timeout, MaxRetries: *retries}
+	var tracer *printqueue.Tracer
+	if *trace {
+		tracer = printqueue.NewTracer(1, 0) // sample every query
+		opts.Tracer = tracer
+	}
 
 	var client queryClient
 	var mux *printqueue.MuxQueryClient
@@ -76,15 +82,31 @@ func main() {
 		if mux == nil {
 			log.Fatal("-batch requires -proto binary")
 		}
-		runBatch(mux, os.Stdin, *top)
-		return
+		code := runBatch(mux, os.Stdin, *top)
+		client.Close()
+		printTraces(tracer)
+		os.Exit(code)
 	}
 
 	report, err := runOne(client, flag.Arg(0), flag.Args()[1:])
 	if err != nil {
+		printTraces(tracer)
 		log.Fatal(err)
 	}
 	printReport(report, *top)
+	printTraces(tracer)
+}
+
+// printTraces dumps every trace the client tracer completed, newest last,
+// as indented span trees joining the client and server sides.
+func printTraces(tracer *printqueue.Tracer) {
+	if tracer == nil {
+		return
+	}
+	traces := tracer.Traces()
+	for i := len(traces) - 1; i >= 0; i-- {
+		fmt.Print(printqueue.FormatTrace(traces[i]))
+	}
 }
 
 // runOne executes a single query given its kind and flag-style arguments.
@@ -129,8 +151,9 @@ func parseQuery(kind string, args []string) (printqueue.BatchQuery, error) {
 }
 
 // runBatch reads one query per line, sends them as a single frame, and
-// prints each answer labelled by its line.
-func runBatch(mux *printqueue.MuxQueryClient, in *os.File, top int) {
+// prints each answer labelled by its line. It returns the process exit
+// code so main can flush traces before exiting.
+func runBatch(mux *printqueue.MuxQueryClient, in *os.File, top int) int {
 	var queries []printqueue.BatchQuery
 	var lines []string
 	sc := bufio.NewScanner(in)
@@ -167,7 +190,7 @@ func runBatch(mux *printqueue.MuxQueryClient, in *os.File, top int) {
 		}
 		printReport(r.Report, top)
 	}
-	os.Exit(exit)
+	return exit
 }
 
 func printReport(report printqueue.Report, top int) {

@@ -45,6 +45,7 @@ var (
 	saveLog   = flag.String("save-log", "", "write the telemetry (ground-truth) log to this file")
 	serveAddr = flag.String("serve", "", "after the run, host the TCP query API on this address until interrupted")
 	opsAddr   = flag.String("ops", "", "host the ops HTTP endpoint (Prometheus /metrics, /healthz, /debug/*) on this address for the whole run")
+	slowN     = flag.Int("slow-traces", 0, "trace every query and dump the slowest N as span trees at exit; 0 = off")
 )
 
 func main() {
@@ -67,6 +68,13 @@ func main() {
 	}
 	pq.Attach(sw)
 	tlog := sw.AttachLog(0)
+
+	if *slowN > 0 {
+		// Trace every query so the slowest-N dump sees the full population;
+		// the ring is sized to hold them all.
+		pq.EnableTracing(printqueue.TracingConfig{SampleEvery: 1, RingSize: 4096})
+		defer dumpSlowTraces(pq, *slowN)
+	}
 
 	if *opsAddr != "" {
 		ops, err := pq.ServeOps(*opsAddr)
@@ -120,6 +128,24 @@ func main() {
 		diagnose(pq, tlog, vi)
 	}
 	serve(pq)
+}
+
+// dumpSlowTraces prints the slowest n completed traces as span trees,
+// slowest first.
+func dumpSlowTraces(pq *printqueue.System, n int) {
+	traces := pq.Traces()
+	sort.Slice(traces, func(i, j int) bool { return traces[i].DurNs() > traces[j].DurNs() })
+	if len(traces) > n {
+		traces = traces[:n]
+	}
+	if len(traces) == 0 {
+		fmt.Println("no traces recorded")
+		return
+	}
+	fmt.Printf("slowest %d of %d traced queries:\n", len(traces), pq.Tracer().Finished())
+	for _, tr := range traces {
+		fmt.Print(printqueue.FormatTrace(tr))
+	}
 }
 
 // serve optionally hosts the TCP query API until interrupted.

@@ -19,6 +19,7 @@ import (
 	"printqueue/internal/flow"
 	"printqueue/internal/pktrec"
 	"printqueue/internal/telemetry"
+	"printqueue/internal/tracing"
 )
 
 // Config configures a PrintQueue deployment on one switch.
@@ -247,6 +248,9 @@ func (qc *queryPathCounters) register(reg *telemetry.Registry) {
 type portState struct {
 	id     int
 	prefix int // rank among activated ports; the q-bit register prefix
+	// subject is the precomputed event-log subject ("port=N"), so
+	// recording an event never formats on a data-plane goroutine.
+	subject string
 
 	// mu guards the checkpoint and data-plane query histories, which the
 	// per-port ingestion goroutine and the snapshot goroutine append to and
@@ -320,6 +324,15 @@ type System struct {
 	// pipe tracks the open Pipeline (if any) for introspection endpoints;
 	// unlike snap it may be read concurrently from HTTP handlers.
 	pipe atomic.Pointer[Pipeline]
+	// pipeEver records that a pipeline was ever attached, so readiness
+	// can distinguish "never had a pipeline" (fine) from
+	// "pipeline stopped" (degraded).
+	pipeEver atomic.Bool
+	// tracer and events are the optional observability planes installed
+	// by EnableTracing; nil (the default) keeps every trace/event hook a
+	// single atomic load + nil test.
+	tracer atomic.Pointer[tracing.Tracer]
+	events atomic.Pointer[tracing.EventLog]
 }
 
 // New builds a System. Register arrays are allocated for r(#ports)
@@ -357,7 +370,7 @@ func New(cfg Config) (*System, error) {
 	s.portTab = make([]*portState, maxPort+1)
 
 	for rank, port := range cfg.Ports {
-		ps := &portState{id: port, prefix: rank}
+		ps := &portState{id: port, prefix: rank, subject: "port=" + strconv.Itoa(port)}
 		ps.pendCond = sync.NewCond(&ps.pendMu)
 		ps.packets = s.telemetry.Counter("printqueue_port_packets_total",
 			"Dequeued packets observed per activated port.",
@@ -414,6 +427,75 @@ func (s *System) Config() Config { return s.cfg }
 // the system (pipelines, query servers, ops endpoints) register and scrape
 // their instrumentation here, so one /metrics page covers the deployment.
 func (s *System) Telemetry() *telemetry.Registry { return s.telemetry }
+
+// TraceOptions configures System.EnableTracing. Zero fields take the
+// tracing package defaults (sampling stays off unless SampleEvery > 0,
+// but the slow path and remote trace ids are always honored).
+type TraceOptions struct {
+	// SampleEvery samples 1-in-N locally issued queries. 0 disables
+	// proactive sampling; remote trace ids and the slow path still work.
+	SampleEvery int
+	// SlowNs is the always-on slowlog threshold (0 = 10ms).
+	SlowNs uint64
+	// RingSize / SlowRingSize / MaxSpans bound the trace rings.
+	RingSize     int
+	SlowRingSize int
+	MaxSpans     int
+	// EventRing bounds the data-plane event ring (0 = 512).
+	EventRing int
+}
+
+// EnableTracing installs the tracing and event planes on the system and
+// registers their metrics. Safe to call while traffic flows (the planes
+// are swapped in atomically); calling again replaces the rings but
+// reuses the registered counters.
+func (s *System) EnableTracing(o TraceOptions) (*tracing.Tracer, *tracing.EventLog) {
+	tr := tracing.New(tracing.Config{
+		SampleEvery:  o.SampleEvery,
+		SlowNs:       o.SlowNs,
+		RingSize:     o.RingSize,
+		SlowRingSize: o.SlowRingSize,
+		MaxSpans:     o.MaxSpans,
+		Started: s.telemetry.Counter("printqueue_traces_started_total",
+			"Traces opened (sampled, forced by a remote id, or slowlog promotions)."),
+		Finished: s.telemetry.Counter("printqueue_traces_finished_total",
+			"Traces closed; equals started when every trace is orphan-closed."),
+		Slow: s.telemetry.Counter("printqueue_traces_slow_total",
+			"Traces that crossed the slow-query threshold into the slowlog."),
+		SpansDropped: s.telemetry.Counter("printqueue_trace_spans_dropped_total",
+			"Spans dropped because a trace hit its span bound."),
+	})
+	ev := tracing.NewEventLog(o.EventRing)
+	for k := 0; k < tracing.NumEventKinds; k++ {
+		kind := tracing.EventKind(k)
+		ev.SetCounter(kind, s.telemetry.Counter("printqueue_events_total",
+			"Data-plane trigger events recorded in the event ring.",
+			telemetry.L("kind", kind.String())))
+	}
+	s.tracer.Store(tr)
+	s.events.Store(ev)
+	return tr, ev
+}
+
+// Tracer returns the installed tracer, or nil when tracing is disabled.
+// The nil tracer is safe to use: every method no-ops.
+func (s *System) Tracer() *tracing.Tracer { return s.tracer.Load() }
+
+// Events returns the installed event log, or nil when disabled (Record
+// on a nil log is a no-op).
+func (s *System) Events() *tracing.EventLog { return s.events.Load() }
+
+// Degraded reports readiness problems: an empty slice means the system
+// can serve. Today the one system-level condition is a pipeline that was
+// attached and then stopped — ingestion is over, so the instance should
+// be rotated out of serving before its history goes stale.
+func (s *System) Degraded() []string {
+	var reasons []string
+	if s.pipeEver.Load() && s.pipe.Load() == nil {
+		reasons = append(reasons, "pipeline-stopped")
+	}
+	return reasons
+}
 
 // Stats returns a snapshot of the control-plane counters. The counters are
 // atomic (and shared with the telemetry registry, so /metrics shows the
@@ -573,14 +655,19 @@ func (ps *portState) clearPending(sel int) {
 
 // waitSetFree blocks until set sel has no frozen read in flight. Having to
 // wait at all means the snapshotter fell a full poll period behind — the
-// backpressure regime — so the stall is charged to InfeasibleFlips.
-func (ps *portState) waitSetFree(sel int, st *statsCounters) {
+// backpressure regime — so the stall is charged to InfeasibleFlips and
+// recorded as a freeze-stall event (the stall duration in ns).
+func (ps *portState) waitSetFree(sel int, s *System) {
 	ps.pendMu.Lock()
 	if ps.pendingSet[sel] {
-		st.infeasibleFlips.Add(1)
+		s.stats.infeasibleFlips.Add(1)
+		start := time.Now()
 		for ps.pendingSet[sel] {
 			ps.pendCond.Wait()
 		}
+		ps.pendMu.Unlock()
+		s.Events().Record(tracing.EventFreezeStall, ps.subject, time.Since(start).Nanoseconds(), 0)
+		return
 	}
 	ps.pendMu.Unlock()
 }
@@ -615,7 +702,7 @@ func (s *System) flip(ps *portState, now uint64) {
 	}
 	newSel := ps.writeSel.toggleFlip()
 	if sn := s.snap; sn != nil {
-		ps.waitSetFree(newSel.index(), &s.stats)
+		ps.waitSetFree(newSel.index(), s)
 		ps.markPending(oldSel)
 		sn.enqueue(snapJob{ps: ps, sel: oldSel, freezeTime: now, prevFreeze: prevFreeze, frozenAt: time.Now()})
 	} else {
@@ -734,9 +821,23 @@ func (s *System) DPQueries(port int) []*DPQuery {
 // QueryInterval executes an asynchronous time-window query: estimate the
 // per-flow packet counts dequeued on the port during [start, end). The
 // interval is split across the periodic checkpoints covering it (§6.3) and
-// the per-checkpoint results are aggregated.
+// the per-checkpoint results are aggregated. With tracing enabled, the
+// query may be sampled into a local trace; unsampled slow queries still
+// reach the slowlog.
 func (s *System) QueryInterval(port int, start, end uint64) (flow.Counts, error) {
-	return s.queryIntervalSharded(port, start, end, nil)
+	t := s.Tracer()
+	if t == nil {
+		return s.queryIntervalSharded(port, start, end, nil, nil)
+	}
+	t0 := time.Now()
+	tr := t.Start("interval")
+	counts, err := s.queryIntervalSharded(port, start, end, nil, tr)
+	if tr != nil {
+		tr.FinishErr(err)
+	} else {
+		t.MaybeSlow("interval", t0, time.Since(t0), err)
+	}
+	return counts, err
 }
 
 // queryIntervalSharded is QueryInterval with optional parallel fan-out:
@@ -746,8 +847,11 @@ func (s *System) QueryInterval(port int, start, end uint64) (flow.Counts, error)
 // Shards that cannot acquire a slot run inline on the caller, so fan-out
 // never blocks on a busy pool. Because the shards produce exact integer
 // accumulators, the result is bit-identical to the serial (and scan) path
-// for any sharding.
-func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan struct{}) (flow.Counts, error) {
+// for any sharding. tr (nil = untraced) collects per-stage spans: one
+// "server.shard" span per fan-out chunk (recorded concurrently by the
+// workers) and a "server.merge" span for the shard merge, or a single
+// "server.accumulate" span on the serial path.
+func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan struct{}, tr *tracing.Trace) (flow.Counts, error) {
 	ps, ok := s.ports[port]
 	if !ok {
 		return nil, fmt.Errorf("control: port %d not activated", port)
@@ -756,7 +860,10 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 		return nil, fmt.Errorf("control: empty query interval [%d, %d)", start, end)
 	}
 	if s.cfg.QueryPath == QueryPathScan {
-		return s.queryCheckpoints(ps.snapshotCheckpoints(), start, end), nil
+		sp := tr.StartSpan("server.accumulate", tracing.SrcServer)
+		counts := s.queryCheckpoints(ps.snapshotCheckpoints(), start, end)
+		sp.End()
+		return counts, nil
 	}
 	run, histLen := ps.snapshotRun(start, end)
 	s.qpath.checkpointsPruned.Add(int64(histLen - len(run)))
@@ -769,9 +876,12 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 		shards = len(run)
 	}
 	if len(run) < parallelMinRun || shards < 2 {
+		sp := tr.StartSpan("server.accumulate", tracing.SrcServer)
 		acc := timewindow.NewAccumulator(s.cfg.TW.T, s.twCoeff)
 		s.qpath.cellsVisited.Add(int64(accumulateRun(acc, run, start, end, false)))
-		return acc.Counts(), nil
+		counts := acc.Counts()
+		sp.End()
+		return counts, nil
 	}
 	accs := make([]*timewindow.Accumulator, shards)
 	cells := make([]int, shards)
@@ -780,9 +890,11 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 	for c := 0; c < shards; c++ {
 		chunk := run[c*len(run)/shards : (c+1)*len(run)/shards]
 		work := func(c int, chunk []*Checkpoint) {
+			sp := tr.StartSpan("server.shard", tracing.SrcServer)
 			acc := timewindow.NewAccumulator(s.cfg.TW.T, s.twCoeff)
 			cells[c] = accumulateRun(acc, chunk, start, end, false)
 			accs[c] = acc
+			sp.End()
 		}
 		if c == shards-1 {
 			// The caller always takes the last shard itself: progress is
@@ -806,6 +918,7 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 	if spawned > 0 {
 		s.qpath.parallelFanouts.Inc()
 	}
+	spM := tr.StartSpan("server.merge", tracing.SrcServer)
 	total := accs[0]
 	visited := cells[0]
 	for c := 1; c < shards; c++ {
@@ -813,7 +926,9 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 		visited += cells[c]
 	}
 	s.qpath.cellsVisited.Add(int64(visited))
-	return total.Counts(), nil
+	counts := total.Counts()
+	spM.End()
+	return counts, nil
 }
 
 // parallelMinRun is the smallest pruned checkpoint run worth sharding
@@ -887,7 +1002,25 @@ func pruneCheckpoints(cps []*Checkpoint, start, end uint64) []*Checkpoint {
 // congestion at the time instant closest to t, for the given port and
 // priority queue. The checkpoint nearest to t is merged with its
 // predecessor so buildup recorded before a register flip is retained.
+// With tracing enabled, the query may be sampled into a local trace.
 func (s *System) QueryOriginal(port, queue int, t uint64) ([]qmonitor.Culprit, error) {
+	tracer := s.Tracer()
+	if tracer == nil {
+		return s.queryOriginal(port, queue, t, nil)
+	}
+	t0 := time.Now()
+	tr := tracer.Start("original")
+	culprits, err := s.queryOriginal(port, queue, t, tr)
+	if tr != nil {
+		tr.FinishErr(err)
+	} else {
+		tracer.MaybeSlow("original", t0, time.Since(t0), err)
+	}
+	return culprits, err
+}
+
+// queryOriginal is QueryOriginal's traced core.
+func (s *System) queryOriginal(port, queue int, t uint64, tr *tracing.Trace) ([]qmonitor.Culprit, error) {
 	ps, ok := s.ports[port]
 	if !ok {
 		return nil, fmt.Errorf("control: port %d not activated", port)
@@ -907,7 +1040,10 @@ func (s *System) QueryOriginal(port, queue int, t uint64) ([]qmonitor.Culprit, e
 	// and half) reconstructs the monitor's exact state at that freeze.
 	// The running merge prefix is memoized per queue, so repeated queries
 	// extend it incrementally instead of re-merging from checkpoint 0.
-	return ps.prefixSnapshot(cps, gen, queue, idx, s.cfg.QueuesPerPort).OriginalCulprits(), nil
+	sp := tr.StartSpan("server.accumulate", tracing.SrcServer)
+	culprits := ps.prefixSnapshot(cps, gen, queue, idx, s.cfg.QueuesPerPort).OriginalCulprits()
+	sp.End()
+	return culprits, nil
 }
 
 // prefixSnapshot returns Merge(cps[0..idx]) for the given queue, served

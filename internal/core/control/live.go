@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"printqueue/internal/telemetry"
+	"printqueue/internal/tracing"
 )
 
 // QueryServer serves asynchronous queries concurrently with a running data
@@ -83,6 +84,11 @@ type queryRequest struct {
 	queue      int
 	start, end uint64
 	resp       chan QueryResult
+	// tr joins the request to an end-to-end trace (nil when untraced);
+	// submitted is stamped at submit so the worker can record the
+	// "server.queue" span (time spent waiting for a worker).
+	tr        *tracing.Trace
+	submitted time.Time
 }
 
 // NewQueryServer builds a server over an existing System, registering the
@@ -137,13 +143,19 @@ func (q *QueryServer) worker() {
 }
 
 func (q *QueryServer) execute(req queryRequest) QueryResult {
-	if req.kind == IntervalQuery || req.kind == OriginalQuery {
-		q.met.inflight.Add(1)
-		start := time.Now()
-		defer func() {
-			q.met.latencyNs[req.kind].Observe(uint64(time.Since(start).Nanoseconds()))
-			q.met.inflight.Add(-1)
-		}()
+	// A request with no remote trace may still be sampled locally, so
+	// server-only queries (tests, pqsim, fleet internals) show up in the
+	// trace ring too. Traces we open here we also close here; remote
+	// traces are closed by the netserver writer after the reply goes out.
+	own := false
+	if req.tr == nil {
+		if t := q.sys.Tracer(); t != nil {
+			req.tr = t.Start(kindName(req.kind))
+			own = req.tr != nil
+		}
+	}
+	if req.tr != nil && !req.submitted.IsZero() {
+		req.tr.Span("server.queue", tracing.SrcServer, req.submitted, time.Since(req.submitted))
 	}
 	res := QueryResult{
 		Kind:  req.kind,
@@ -152,10 +164,28 @@ func (q *QueryServer) execute(req queryRequest) QueryResult {
 		Start: req.start,
 		End:   req.end,
 	}
+	if req.kind == IntervalQuery || req.kind == OriginalQuery {
+		q.met.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			dur := time.Since(start)
+			q.met.latencyNs[req.kind].ObserveEx(uint64(dur.Nanoseconds()), req.tr.ID())
+			q.met.inflight.Add(-1)
+			if own {
+				req.tr.FinishErr(res.Err)
+			} else if req.tr == nil {
+				// Unsampled but over the slow threshold: promote into the
+				// tracer's always-on slowlog.
+				q.sys.Tracer().MaybeSlow(kindName(req.kind), start, dur, res.Err)
+			}
+		}()
+	}
 	switch req.kind {
 	case IntervalQuery:
-		counts, err := q.sys.queryIntervalSharded(req.port, req.start, req.end, q.sem)
+		sp := req.tr.StartSpan("server.execute", tracing.SrcServer)
+		counts, err := q.sys.queryIntervalSharded(req.port, req.start, req.end, q.sem, req.tr)
 		if err != nil {
+			sp.End()
 			res.Err = err
 			q.met.errors[req.kind].Inc()
 			return res
@@ -164,9 +194,12 @@ func (q *QueryServer) execute(req queryRequest) QueryResult {
 		for f, n := range counts {
 			res.Counts[f.String()] = n
 		}
+		sp.End()
 	case OriginalQuery:
-		culprits, err := q.sys.QueryOriginal(req.port, req.queue, req.start)
+		sp := req.tr.StartSpan("server.execute", tracing.SrcServer)
+		culprits, err := q.sys.queryOriginal(req.port, req.queue, req.start, req.tr)
 		if err != nil {
+			sp.End()
 			res.Err = err
 			q.met.errors[req.kind].Inc()
 			return res
@@ -175,6 +208,7 @@ func (q *QueryServer) execute(req queryRequest) QueryResult {
 		for _, c := range culprits {
 			res.Counts[c.Flow.String()]++
 		}
+		sp.End()
 	default:
 		res.Err = fmt.Errorf("control: unknown query kind %d", req.kind)
 	}
@@ -202,10 +236,28 @@ func (q *QueryServer) submit(req queryRequest) QueryResult {
 
 // Interval executes an interval (direct/indirect culprit) query.
 func (q *QueryServer) Interval(port int, start, end uint64) QueryResult {
-	return q.submit(queryRequest{kind: IntervalQuery, port: port, start: start, end: end})
+	return q.intervalTraced(port, start, end, nil)
 }
 
 // Original executes an original-culprit query at time t.
 func (q *QueryServer) Original(port, queue int, t uint64) QueryResult {
-	return q.submit(queryRequest{kind: OriginalQuery, port: port, queue: queue, start: t})
+	return q.originalTraced(port, queue, t, nil)
+}
+
+// intervalTraced is Interval joined to an end-to-end trace (nil = untraced).
+func (q *QueryServer) intervalTraced(port int, start, end uint64, tr *tracing.Trace) QueryResult {
+	req := queryRequest{kind: IntervalQuery, port: port, start: start, end: end, tr: tr}
+	if tr != nil {
+		req.submitted = time.Now()
+	}
+	return q.submit(req)
+}
+
+// originalTraced is Original joined to an end-to-end trace (nil = untraced).
+func (q *QueryServer) originalTraced(port, queue int, t uint64, tr *tracing.Trace) QueryResult {
+	req := queryRequest{kind: OriginalQuery, port: port, queue: queue, start: t, tr: tr}
+	if tr != nil {
+		req.submitted = time.Now()
+	}
+	return q.submit(req)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"printqueue/internal/telemetry"
+	"printqueue/internal/tracing"
 )
 
 // MuxClient is the wire-protocol-v2 client: one TCP connection, many
@@ -66,13 +67,19 @@ type MuxClient struct {
 	timeouts, retries, reconnects      atomic.Int64
 	inflight                           atomic.Int64
 	timeoutCtr, retryCtr, reconnectCtr *telemetry.Counter
+
+	// tracer samples round trips into end-to-end traces (nil = off). A
+	// sampled query is sent as a traced frame carrying the trace id, and the
+	// reply's server-side spans are folded into the client trace.
+	tracer *tracing.Tracer
 }
 
 // muxReply is what the reader goroutine delivers to a waiting round trip.
 type muxReply struct {
-	result BatchResult   // single-query replies
-	batch  []BatchResult // batch replies
-	err    error         // transport-level failure (the connection died)
+	result BatchResult    // single-query replies
+	batch  []BatchResult  // batch replies
+	spans  []tracing.Span // server-side spans from a traced reply
+	err    error          // transport-level failure (the connection died)
 }
 
 // muxTimeoutError is the round-trip deadline failure; it satisfies
@@ -114,6 +121,7 @@ func DialMuxOpts(addr string, opts DialOptions) (*MuxClient, error) {
 		timeoutCtr:   opts.Timeouts,
 		retryCtr:     opts.Retries,
 		reconnectCtr: opts.Reconnects,
+		tracer:       opts.Tracer,
 	}
 	conn, err := dialer(addr, max(timeout, 0))
 	if err != nil {
@@ -190,6 +198,16 @@ func (c *MuxClient) readLoop(conn net.Conn, gen uint64) {
 			var rs []BatchResult
 			id, rs, err = decodeBatchReply(payload)
 			reply = muxReply{batch: rs}
+		case opReplyT:
+			var r BatchResult
+			var sp []tracing.Span
+			id, r, sp, err = decodeReplyT(payload)
+			reply = muxReply{result: r, spans: sp}
+		case opBatchReplyT:
+			var rs []BatchResult
+			var sp []tracing.Span
+			id, rs, sp, err = decodeBatchReplyT(payload)
+			reply = muxReply{batch: rs, spans: sp}
 		default:
 			err = errBadMagic
 		}
@@ -344,8 +362,11 @@ func (c *MuxClient) backoff(attempt int) time.Duration {
 
 // roundTrip performs one query with the retry budget. encode builds the
 // request frame for a given id; decode extracts the caller's answer from
-// the delivered reply.
-func (c *MuxClient) roundTrip(encode func(b []byte, id uint64) []byte, decode func(muxReply) (muxReply, error)) (muxReply, error) {
+// the delivered reply. When tr is non-nil the attempt's encode, write, and
+// await phases are recorded as client spans and the reply's server spans
+// are folded in (retried attempts each leave their own spans, so a trace
+// shows every wire attempt the query cost).
+func (c *MuxClient) roundTrip(tr *tracing.Trace, encode func(b []byte, id uint64) []byte, decode func(muxReply) (muxReply, error)) (muxReply, error) {
 	c.inflight.Add(1)
 	defer c.inflight.Add(-1)
 	var lastErr error
@@ -370,7 +391,13 @@ func (c *MuxClient) roundTrip(encode func(b []byte, id uint64) []byte, decode fu
 			}
 			continue
 		}
-		if err := c.writeFrame(conn, encode(getBuf(), id)); err != nil {
+		spE := tr.StartSpan("client.encode", tracing.SrcClient)
+		buf := encode(getBuf(), id)
+		spE.End()
+		spW := tr.StartSpan("client.write", tracing.SrcClient)
+		err = c.writeFrame(conn, buf)
+		spW.End()
+		if err != nil {
 			c.unregister(id)
 			c.poison(gen, err)
 			lastErr = c.noteTimeout(err)
@@ -379,8 +406,11 @@ func (c *MuxClient) roundTrip(encode func(b []byte, id uint64) []byte, decode fu
 			}
 			continue
 		}
+		spA := tr.StartSpan("client.await", tracing.SrcClient)
 		reply, err := c.await(gen, id, ch)
+		spA.End()
 		if err == nil {
+			tr.AddSpans(reply.spans)
 			reply, err = decode(reply)
 			if err == nil {
 				return reply, nil
@@ -394,10 +424,24 @@ func (c *MuxClient) roundTrip(encode func(b []byte, id uint64) []byte, decode fu
 	return muxReply{}, lastErr
 }
 
-// query runs one single-query round trip.
+// query runs one single-query round trip. Sampled queries go out as traced
+// frames (opQueryT) carrying the trace id; unsampled ones stay on the
+// byte-identical untraced path and only feed the slow-query log.
 func (c *MuxClient) query(q BatchQuery) (map[string]float64, error) {
-	reply, err := c.roundTrip(
-		func(b []byte, id uint64) []byte { return appendQueryFrame(b, id, q) },
+	var (
+		tr *tracing.Trace
+		t0 time.Time
+	)
+	name := kindName(q.Kind)
+	if c.tracer != nil {
+		t0 = time.Now()
+		tr = c.tracer.Start(name)
+	}
+	encode := func(b []byte, id uint64) []byte { return appendQueryFrame(b, id, q) }
+	if tr != nil {
+		encode = func(b []byte, id uint64) []byte { return appendQueryTFrame(b, id, tr.ID(), q) }
+	}
+	reply, err := c.roundTrip(tr, encode,
 		func(r muxReply) (muxReply, error) {
 			if r.result.Err != nil {
 				// Application errors (unknown port, empty interval) come
@@ -407,6 +451,11 @@ func (c *MuxClient) query(q BatchQuery) (map[string]float64, error) {
 			return r, nil
 		},
 	)
+	if tr != nil {
+		tr.FinishErr(err)
+	} else if c.tracer != nil {
+		c.tracer.MaybeSlow(name, t0, time.Since(t0), err)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -439,8 +488,19 @@ func (c *MuxClient) Batch(queries []BatchQuery) ([]BatchResult, error) {
 	if len(queries) > maxBatch {
 		return nil, errFrameSize
 	}
-	reply, err := c.roundTrip(
-		func(b []byte, id uint64) []byte { return appendBatchFrame(b, id, queries) },
+	var (
+		tr *tracing.Trace
+		t0 time.Time
+	)
+	if c.tracer != nil {
+		t0 = time.Now()
+		tr = c.tracer.Start("batch")
+	}
+	encode := func(b []byte, id uint64) []byte { return appendBatchFrame(b, id, queries) }
+	if tr != nil {
+		encode = func(b []byte, id uint64) []byte { return appendBatchTFrame(b, id, tr.ID(), queries) }
+	}
+	reply, err := c.roundTrip(tr, encode,
 		func(r muxReply) (muxReply, error) {
 			if len(r.batch) != len(queries) {
 				return muxReply{}, errTruncated // poisoned by the reader already if torn; defensive
@@ -458,6 +518,11 @@ func (c *MuxClient) Batch(queries []BatchQuery) ([]BatchResult, error) {
 			return r, nil
 		},
 	)
+	if tr != nil {
+		tr.FinishErr(err)
+	} else if c.tracer != nil {
+		c.tracer.MaybeSlow("batch", t0, time.Since(t0), err)
+	}
 	if err != nil {
 		return nil, err
 	}

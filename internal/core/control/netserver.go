@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"printqueue/internal/telemetry"
+	"printqueue/internal/tracing"
 )
 
 // NetServer exposes the analysis program's queries over TCP — the paper's
@@ -85,6 +86,10 @@ type NetRequest struct {
 	Start uint64 `json:"start,omitempty"`
 	End   uint64 `json:"end,omitempty"`
 	At    uint64 `json:"at,omitempty"`
+	// Trace, when non-zero, is the client's trace id: the server joins
+	// it, records its per-stage spans, and returns them on the response
+	// so both halves merge into one trace (the JSON twin of opQueryT).
+	Trace uint64 `json:"trace,omitempty"`
 }
 
 // NetResponse is the wire form of a query response.
@@ -94,6 +99,9 @@ type NetResponse struct {
 	ID     uint64             `json:"id,omitempty"`
 	Counts map[string]float64 `json:"counts,omitempty"`
 	Error  string             `json:"error,omitempty"`
+	// Spans carries the server-side stage spans of a traced request back
+	// to the client (only set when the request carried a trace id).
+	Spans []tracing.Span `json:"spans,omitempty"`
 }
 
 // ErrOverloaded is returned (and sent on the wire as {"error":"overloaded"})
@@ -273,10 +281,30 @@ func (s *NetServer) admit(n int64) bool {
 	if s.opts.ShedLimit > 0 && v > int64(s.opts.ShedLimit) {
 		s.inflight.Add(-n)
 		s.shed.Inc()
+		s.qs.sys.Events().Record(tracing.EventShed, "netserver", v-n, 0)
 		return false
 	}
 	s.inflightGauge.Add(n)
 	return true
+}
+
+// serverTrace opens the server half of a traced query, joining the
+// client's trace id (forced ids bypass sampling). With local tracing
+// disabled the trace is detached: spans still travel back in the reply,
+// but nothing is retained server-side.
+func (s *NetServer) serverTrace(name string, traceID uint64) *tracing.Trace {
+	if t := s.qs.sys.Tracer(); t != nil {
+		return t.StartForced(name, traceID)
+	}
+	return tracing.NewDetached(name, traceID, 0)
+}
+
+// kindName maps a wire query kind to its trace root name.
+func kindName(k QueryKind) string {
+	if k == OriginalQuery {
+		return "original"
+	}
+	return "interval"
 }
 
 func (s *NetServer) release(n int64) {
@@ -346,16 +374,28 @@ func (s *NetServer) handleJSON(conn net.Conn, br *bufio.Reader) {
 		s.requests.Inc()
 		var req NetRequest
 		var resp NetResponse
+		var tr *tracing.Trace
 		if err := json.Unmarshal(line, &req); err != nil {
 			s.badRequests.Inc()
 			resp = NetResponse{Error: fmt.Sprintf("bad request: %v", err)}
-		} else if !s.admit(1) {
-			resp = NetResponse{ID: req.ID, Error: ErrOverloaded.Error()}
 		} else {
-			resp = s.execute(req)
-			s.release(1)
+			if req.Trace != 0 {
+				tr = s.serverTrace(req.Kind, req.Trace)
+			}
+			sp := tr.StartSpan("server.dispatch", tracing.SrcServer)
+			if !s.admit(1) {
+				sp.End()
+				resp = NetResponse{ID: req.ID, Error: ErrOverloaded.Error()}
+			} else {
+				sp.End()
+				resp = s.execute(req, tr)
+				s.release(1)
+			}
 		}
-		if !s.reply(conn, resp) {
+		if tr != nil {
+			resp.Spans = tr.Spans()
+		}
+		if !s.replyTrace(conn, resp, tr) {
 			return
 		}
 	}
@@ -368,7 +408,7 @@ func (s *NetServer) handleJSON(conn net.Conn, br *bufio.Reader) {
 // frames cannot resynchronize), so the connection is dropped; the client
 // treats that as poison and redials.
 func (s *NetServer) handleBinary(conn net.Conn, br *bufio.Reader) {
-	out := make(chan []byte, 64)
+	out := make(chan outFrame, 64)
 	writerDone := make(chan struct{})
 	go s.connWriter(conn, out, writerDone)
 	var reqWG sync.WaitGroup
@@ -392,53 +432,81 @@ loop:
 		s.framesRx.Inc()
 		s.bytesRx.Add(int64(frameHeaderLen + len(payload)))
 		switch op {
-		case opQuery:
-			id, q, err := decodeQueryRequest(payload)
+		case opQuery, opQueryT:
+			var id, traceID uint64
+			var q BatchQuery
+			var err error
+			if op == opQueryT {
+				id, traceID, q, err = decodeQueryRequestT(payload)
+			} else {
+				id, q, err = decodeQueryRequest(payload)
+			}
 			if err != nil {
 				s.badRequests.Inc()
 				break loop
 			}
 			s.requests.Inc()
+			var tr *tracing.Trace
+			if op == opQueryT {
+				tr = s.serverTrace(kindName(q.Kind), traceID)
+			}
+			spD := tr.StartSpan("server.dispatch", tracing.SrcServer)
 			if !s.admit(1) {
-				buf := appendReplyFrame(getBuf(), id, NetResponse{Error: ErrOverloaded.Error()})
-				out <- buf
+				spD.End()
+				resp := NetResponse{Error: ErrOverloaded.Error()}
+				out <- outFrame{buf: s.encodeReply(id, resp, tr), tr: tr, errStr: resp.Error}
 				continue
 			}
 			reqWG.Add(1)
 			s.connInflight.Max(perConn.Add(1))
 			go func() {
 				defer reqWG.Done()
-				resp := s.executeWire(q)
+				spD.End() // dispatch = decode + admit + handoff to this goroutine
+				resp := s.executeWire(q, tr)
 				s.release(1)
 				perConn.Add(-1)
-				out <- appendReplyFrame(getBuf(), id, resp)
+				out <- outFrame{buf: s.encodeReply(id, resp, tr), tr: tr, errStr: resp.Error}
 			}()
-		case opBatch:
-			id, qs, err := decodeBatchRequest(payload)
+		case opBatch, opBatchT:
+			var id, traceID uint64
+			var qs []BatchQuery
+			var err error
+			if op == opBatchT {
+				id, traceID, qs, err = decodeBatchRequestT(payload)
+			} else {
+				id, qs, err = decodeBatchRequest(payload)
+			}
 			if err != nil {
 				s.badRequests.Inc()
 				break loop
 			}
 			s.requests.Add(int64(len(qs)))
 			s.batched.Add(int64(len(qs)))
+			var tr *tracing.Trace
+			if op == opBatchT {
+				tr = s.serverTrace("batch", traceID)
+			}
+			spD := tr.StartSpan("server.dispatch", tracing.SrcServer)
 			if len(qs) == 0 {
-				out <- appendBatchReplyFrame(getBuf(), id, nil)
+				spD.End()
+				out <- outFrame{buf: s.encodeBatchReply(id, nil, tr), tr: tr}
 				continue
 			}
 			// A batch is admitted whole: each query counts one unit
 			// against the shed limit, and an over-limit batch sheds in a
 			// single reply rather than executing partially.
 			if !s.admit(int64(len(qs))) {
+				spD.End()
 				resps := make([]NetResponse, len(qs))
 				for i := range resps {
 					resps[i].Error = ErrOverloaded.Error()
 				}
-				out <- appendBatchReplyFrame(getBuf(), id, resps)
+				out <- outFrame{buf: s.encodeBatchReply(id, resps, tr), tr: tr, errStr: ErrOverloaded.Error()}
 				continue
 			}
 			reqWG.Add(1)
 			s.connInflight.Max(perConn.Add(int64(len(qs))))
-			go s.serveBatch(id, qs, out, &reqWG, &perConn)
+			go s.serveBatch(id, qs, tr, spD, out, &reqWG, &perConn)
 		default:
 			s.badRequests.Inc()
 			break loop
@@ -452,34 +520,63 @@ loop:
 	putBuf(scratch)
 }
 
+// outFrame is one encoded reply headed for the connection writer, plus
+// the server-side trace it closes (nil for untraced requests).
+type outFrame struct {
+	buf    []byte
+	tr     *tracing.Trace
+	errStr string // the reply's application error, annotated at Finish
+}
+
+// encodeReply encodes a single-query reply, traced or not. For a traced
+// request the reply carries the trace's spans recorded so far (the write
+// span lands afterwards and is only visible server-side).
+func (s *NetServer) encodeReply(id uint64, resp NetResponse, tr *tracing.Trace) []byte {
+	if tr != nil {
+		return appendReplyTFrame(getBuf(), id, resp, tr.Spans())
+	}
+	return appendReplyFrame(getBuf(), id, resp)
+}
+
+// encodeBatchReply is encodeReply for batch replies.
+func (s *NetServer) encodeBatchReply(id uint64, resps []NetResponse, tr *tracing.Trace) []byte {
+	if tr != nil {
+		return appendBatchReplyTFrame(getBuf(), id, resps, tr.Spans())
+	}
+	return appendBatchReplyFrame(getBuf(), id, resps)
+}
+
 // serveBatch fans a batch's queries out to the query workers concurrently
 // and answers with one frame once every query completes, in request order.
-func (s *NetServer) serveBatch(id uint64, qs []BatchQuery, out chan<- []byte, reqWG *sync.WaitGroup, perConn *atomic.Int64) {
+func (s *NetServer) serveBatch(id uint64, qs []BatchQuery, tr *tracing.Trace, spD tracing.SpanHandle, out chan<- outFrame, reqWG *sync.WaitGroup, perConn *atomic.Int64) {
 	defer reqWG.Done()
+	spD.End()
 	resps := make([]NetResponse, len(qs))
 	var wg sync.WaitGroup
 	for i := range qs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i] = s.executeWire(qs[i])
+			resps[i] = s.executeWire(qs[i], tr)
 		}(i)
 	}
 	wg.Wait()
 	s.release(int64(len(qs)))
 	perConn.Add(int64(-len(qs)))
-	out <- appendBatchReplyFrame(getBuf(), id, resps)
+	out <- outFrame{buf: s.encodeBatchReply(id, resps, tr), tr: tr}
 }
 
 // connWriter is the per-connection writer goroutine for the binary
 // protocol: it streams completed replies in the order they finish, under
 // the write deadline, recycling each frame buffer. After a write error it
 // keeps draining (and recycling) so dispatched requests never block, but
-// the connection is closed so the reader loop unwinds too.
-func (s *NetServer) connWriter(conn net.Conn, out <-chan []byte, done chan<- struct{}) {
+// the connection is closed so the reader loop unwinds too. Traced
+// requests are orphan-closed here: whether the write succeeded or the
+// connection died, the server-side trace is finished exactly once.
+func (s *NetServer) connWriter(conn net.Conn, out <-chan outFrame, done chan<- struct{}) {
 	defer close(done)
 	dead := false
-	for buf := range out {
+	for f := range out {
 		if !dead {
 			if s.opts.WriteTimeout > 0 {
 				if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
@@ -487,18 +584,25 @@ func (s *NetServer) connWriter(conn net.Conn, out <-chan []byte, done chan<- str
 				}
 			}
 			if !dead {
-				if _, err := conn.Write(buf); err != nil {
+				spW := f.tr.StartSpan("server.write", tracing.SrcServer)
+				if _, err := conn.Write(f.buf); err != nil {
 					dead = true
 				} else {
+					spW.End()
 					s.framesTx.Inc()
-					s.bytesTx.Add(int64(len(buf)))
+					s.bytesTx.Add(int64(len(f.buf)))
 				}
 			}
 			if dead {
 				conn.Close()
 			}
 		}
-		putBuf(buf)
+		if dead {
+			f.tr.Finish("connection dead")
+		} else {
+			f.tr.Finish(f.errStr)
+		}
+		putBuf(f.buf)
 	}
 }
 
@@ -506,16 +610,31 @@ func (s *NetServer) connWriter(conn net.Conn, out <-chan []byte, done chan<- str
 // whether the connection is still usable. The line is encoded into a
 // pooled buffer — no json.Marshal, no fresh slice per reply.
 func (s *NetServer) reply(conn net.Conn, resp NetResponse) bool {
+	return s.replyTrace(conn, resp, nil)
+}
+
+// replyTrace is reply plus trace closure: the write span is recorded
+// (server-side only; the spans already left in resp) and the trace is
+// finished whether or not the write succeeded.
+func (s *NetServer) replyTrace(conn net.Conn, resp NetResponse, tr *tracing.Trace) bool {
 	buf := appendJSONResponse(getBuf(), resp)
 	buf = append(buf, '\n')
 	defer putBuf(buf)
 	if s.opts.WriteTimeout > 0 {
 		if err := conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout)); err != nil {
+			tr.Finish("connection dead")
 			return false
 		}
 	}
+	spW := tr.StartSpan("server.write", tracing.SrcServer)
 	_, err := conn.Write(buf)
-	return err == nil
+	if err != nil {
+		tr.Finish("connection dead")
+		return false
+	}
+	spW.End()
+	tr.Finish(resp.Error)
+	return true
 }
 
 // readLine reads one newline-terminated line of at most max bytes,
@@ -545,7 +664,7 @@ func readLine(br *bufio.Reader, buf []byte, max int) (line []byte, tooLong bool,
 	}
 }
 
-func (s *NetServer) execute(req NetRequest) NetResponse {
+func (s *NetServer) execute(req NetRequest, tr *tracing.Trace) NetResponse {
 	resp := NetResponse{ID: req.ID}
 	var kind QueryKind
 	switch req.Kind {
@@ -562,21 +681,22 @@ func (s *NetServer) execute(req NetRequest) NetResponse {
 	if kind == OriginalQuery {
 		at = req.At
 	}
-	wire := s.executeWire(BatchQuery{Kind: kind, Port: req.Port, Queue: req.Queue, Start: at, End: req.End})
+	wire := s.executeWire(BatchQuery{Kind: kind, Port: req.Port, Queue: req.Queue, Start: at, End: req.End}, tr)
 	resp.Counts = wire.Counts
 	resp.Error = wire.Error
 	return resp
 }
 
-// executeWire runs one decoded query on the query workers. For
-// OriginalQuery the instant travels in Start.
-func (s *NetServer) executeWire(q BatchQuery) NetResponse {
+// executeWire runs one decoded query on the query workers, recording
+// stage spans into tr (nil for untraced requests). For OriginalQuery
+// the instant travels in Start.
+func (s *NetServer) executeWire(q BatchQuery, tr *tracing.Trace) NetResponse {
 	var res QueryResult
 	switch q.Kind {
 	case IntervalQuery:
-		res = s.qs.Interval(q.Port, q.Start, q.End)
+		res = s.qs.intervalTraced(q.Port, q.Start, q.End, tr)
 	case OriginalQuery:
-		res = s.qs.Original(q.Port, q.Queue, q.Start)
+		res = s.qs.originalTraced(q.Port, q.Queue, q.Start, tr)
 	default:
 		s.badRequests.Inc()
 		return NetResponse{Error: fmt.Sprintf("unknown kind %d", q.Kind)}
@@ -639,6 +759,12 @@ type DialOptions struct {
 	Timeouts   *telemetry.Counter
 	Retries    *telemetry.Counter
 	Reconnects *telemetry.Counter
+	// Tracer, if non-nil, traces round trips: sampled queries carry
+	// their trace id on the wire and absorb the server's stage spans
+	// into one joined trace; unsampled queries still feed the tracer's
+	// always-on slowlog. nil (the default) keeps tracing entirely off
+	// the hot path.
+	Tracer *tracing.Tracer
 }
 
 // errDesync marks a response that could not be matched to its request (a
@@ -683,6 +809,8 @@ type QueryClient struct {
 
 	timeouts, retries, reconnects      atomic.Int64
 	timeoutCtr, retryCtr, reconnectCtr *telemetry.Counter
+
+	tracer *tracing.Tracer
 }
 
 // Dial connects to a NetServer with default options.
@@ -743,6 +871,7 @@ func DialOpts(addr string, opts DialOptions) (*QueryClient, error) {
 		timeoutCtr:   opts.Timeouts,
 		retryCtr:     opts.Retries,
 		reconnectCtr: opts.Reconnects,
+		tracer:       opts.Tracer,
 	}
 	conn, err := dialer(addr, max(timeout, 0))
 	if err != nil {
@@ -790,7 +919,28 @@ func (c *QueryClient) Retries() int64 { return c.retries.Load() }
 // connection.
 func (c *QueryClient) Reconnects() int64 { return c.reconnects.Load() }
 
+// roundTrip performs one logical query, with retries and (when a tracer
+// is configured) end-to-end tracing: sampled queries get a client trace
+// whose id travels on the wire, and every trace — including ones whose
+// round trips fail permanently — is orphan-closed here. Unsampled
+// queries feed the tracer's always-on slowlog.
 func (c *QueryClient) roundTrip(req NetRequest) (map[string]float64, error) {
+	if c.tracer == nil {
+		return c.roundTripTraced(req, nil)
+	}
+	t0 := time.Now()
+	tr := c.tracer.Start(req.Kind)
+	req.Trace = tr.ID() // 0 when unsampled: the wire stays trace-free
+	counts, err := c.roundTripTraced(req, tr)
+	if tr != nil {
+		tr.FinishErr(err)
+	} else {
+		c.tracer.MaybeSlow(req.Kind, t0, time.Since(t0), err)
+	}
+	return counts, err
+}
+
+func (c *QueryClient) roundTripTraced(req NetRequest, tr *tracing.Trace) (map[string]float64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var lastErr error
@@ -813,7 +963,7 @@ func (c *QueryClient) roundTrip(req NetRequest) (map[string]float64, error) {
 				continue
 			}
 		}
-		counts, err := c.attempt(req)
+		counts, err := c.attempt(req, tr)
 		if err == nil {
 			return counts, nil
 		}
@@ -827,7 +977,7 @@ func (c *QueryClient) roundTrip(req NetRequest) (map[string]float64, error) {
 
 // attempt performs one request/response exchange on the live connection.
 // Any failure that leaves the connection's framing untrustworthy poisons it.
-func (c *QueryClient) attempt(req NetRequest) (map[string]float64, error) {
+func (c *QueryClient) attempt(req NetRequest, tr *tracing.Trace) (map[string]float64, error) {
 	c.lastID++
 	req.ID = c.lastID
 	if c.timeout > 0 {
@@ -836,12 +986,17 @@ func (c *QueryClient) attempt(req NetRequest) (map[string]float64, error) {
 			return nil, err
 		}
 	}
+	spE := tr.StartSpan("client.encode", tracing.SrcClient)
 	c.wbuf = appendJSONRequest(c.wbuf[:0], req)
 	c.wbuf = append(c.wbuf, '\n')
+	spE.End()
+	spW := tr.StartSpan("client.write", tracing.SrcClient)
 	if _, err := c.conn.Write(c.wbuf); err != nil {
 		c.poison()
 		return nil, c.noteTimeout(err)
 	}
+	spW.End()
+	spA := tr.StartSpan("client.await", tracing.SrcClient)
 	for {
 		line, err := c.br.ReadBytes('\n')
 		if err != nil {
@@ -864,6 +1019,8 @@ func (c *QueryClient) attempt(req NetRequest) (map[string]float64, error) {
 			c.poison()
 			return nil, fmt.Errorf("%w: response id %d for request id %d", errDesync, resp.ID, req.ID)
 		}
+		spA.End()
+		tr.AddSpans(resp.Spans)
 		if resp.Error != "" {
 			if resp.Error == ErrOverloaded.Error() {
 				return nil, ErrOverloaded

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"printqueue/internal/tracing"
 )
 
 // The BenchmarkNetQuery suite compares the JSON line protocol against the
@@ -196,6 +198,35 @@ func BenchmarkNetQueryBinaryPipelined(b *testing.B) {
 	if got := srv.binaryConns.Load(); got != 1 {
 		b.Fatalf("pipelined benchmark used %d connections, want 1", got)
 	}
+}
+
+// BenchmarkNetQueryBinaryPipelinedTraced is the pipelined benchmark with
+// tracing sampling EVERY query on both sides — the worst-case tracing
+// overhead. Compare against BenchmarkNetQueryBinaryPipelined (sampling
+// off, which must stay within 2% of the untraced PR 6 baseline).
+func BenchmarkNetQueryBinaryPipelinedTraced(b *testing.B) {
+	srv := benchNetFixture(b)
+	srv.qs.sys.EnableTracing(TraceOptions{SampleEvery: 1})
+	opts := benchDialOpts()
+	opts.Tracer = tracing.New(tracing.Config{SampleEvery: 1})
+	c, err := DialMuxOpts(srv.Addr().String(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ReportAllocs()
+	b.SetParallelism(64)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Interval(0, 1000, 1050); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportQPS(b)
 }
 
 // BenchmarkNetQueryBinaryBatch amortizes framing over 64 queries per

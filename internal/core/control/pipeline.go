@@ -9,6 +9,7 @@ import (
 
 	"printqueue/internal/pktrec"
 	"printqueue/internal/telemetry"
+	"printqueue/internal/tracing"
 )
 
 // This file implements the sharded ingestion pipeline: the software
@@ -72,6 +73,15 @@ type shard struct {
 	backpressureNs *telemetry.Counter // ns the producer spent blocked on a full ring
 	batches        *telemetry.Counter // batches processed by the worker
 	packets        *telemetry.Counter // packets processed by the worker
+
+	// Event-plane state, owned by the single ingestion producer. Events are
+	// edge-triggered: one record per new high-watermark crossing and one per
+	// backpressure episode, so a sustained stall does not flood the event
+	// ring and the untriggered path adds only branch tests per batch.
+	subject  string // "shard=N", precomputed so event records don't allocate it
+	hwSeen   int64  // highest occupancy already reported as an event
+	blocked  bool   // inside a backpressure episode (last push waited)
+	hwThresh int64  // occupancy at which high-watermark events start firing
 }
 
 // Pipeline drives a System through sharded, batched ingestion. Ingest must
@@ -110,7 +120,9 @@ func NewPipeline(sys *System, cfg PipelineConfig) (*Pipeline, error) {
 	for i := range pl.shards {
 		id := telemetry.L("shard", strconv.Itoa(i))
 		pl.shards[i] = &shard{
-			ring: newSPSCRing(cfg.RingDepth),
+			ring:     newSPSCRing(cfg.RingDepth),
+			subject:  "shard=" + strconv.Itoa(i),
+			hwThresh: int64(cfg.RingDepth+1) / 2,
 			occupancy: reg.Gauge("printqueue_pipeline_shard_ring_occupancy",
 				"Batches queued in the shard's ingestion ring.", id),
 			highWater: reg.Gauge("printqueue_pipeline_shard_ring_high_watermark",
@@ -132,20 +144,37 @@ func NewPipeline(sys *System, cfg PipelineConfig) (*Pipeline, error) {
 		go pl.worker(sh)
 	}
 	sys.pipe.Store(pl)
+	sys.pipeEver.Store(true)
 	return pl, nil
 }
 
 // pushBatch hands a filled batch to the shard ring and samples the
 // producer-side metrics: occupancy (with its high-watermark) and any
-// backpressure stall the push suffered.
+// backpressure stall the push suffered. It also mirrors the paper's
+// data-plane triggers into the event log: a backpressure event when a push
+// first blocks (episode start, value = ns stalled) and a high-watermark
+// event each time occupancy reaches a new maximum at or above half the
+// ring depth.
 func (pl *Pipeline) pushBatch(sh *shard, b *packetBatch) {
 	waited, _ := sh.ring.push(b)
 	if waited > 0 {
 		sh.backpressureNs.Add(waited)
+		if !sh.blocked {
+			sh.blocked = true
+			pl.sys.Events().Record(tracing.EventBackpressure, sh.subject, waited, 0)
+		}
+	} else {
+		sh.blocked = false
 	}
 	occ := sh.ring.len()
 	sh.occupancy.Set(occ)
 	sh.highWater.Max(occ)
+	if occ > sh.hwSeen {
+		if occ >= sh.hwThresh {
+			pl.sys.Events().Record(tracing.EventRingHighWater, sh.subject, occ, 0)
+		}
+		sh.hwSeen = occ
+	}
 }
 
 // Ingest hands one dequeued packet to its port's shard. The packet is

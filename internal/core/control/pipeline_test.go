@@ -226,7 +226,7 @@ func TestBackpressureAccounting(t *testing.T) {
 	ps.markPending(1)
 	done := make(chan struct{})
 	go func() {
-		ps.waitSetFree(1, &sys.stats)
+		ps.waitSetFree(1, sys)
 		close(done)
 	}()
 	select {
@@ -244,7 +244,7 @@ func TestBackpressureAccounting(t *testing.T) {
 		t.Fatalf("InfeasibleFlips = %d, want 1", got)
 	}
 	// A free set must not block or charge anything.
-	ps.waitSetFree(0, &sys.stats)
+	ps.waitSetFree(0, sys)
 	if got := sys.Stats().InfeasibleFlips; got != 1 {
 		t.Fatalf("free set charged: InfeasibleFlips = %d, want 1", got)
 	}

@@ -11,6 +11,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"printqueue/internal/tracing"
 )
 
 // Wire protocol v2: a length-prefixed binary framing for the query plane.
@@ -56,6 +58,16 @@ const (
 	opReply      byte = 0x81
 	opBatchReply byte = 0x82
 
+	// Traced variants (PR 7). A traced request carries the client's
+	// 64-bit trace id after the request id; a traced reply carries the
+	// server-side span list before the reply body. Untraced frames stay
+	// byte-identical to v2, so tracing-off costs nothing on the wire and
+	// old peers are unaffected (they simply never send the traced ops).
+	opQueryT      byte = 0x11
+	opBatchT      byte = 0x12
+	opReplyT      byte = 0x91
+	opBatchReplyT byte = 0x92
+
 	// frameHeaderLen is magic + op + uint32 payload length.
 	frameHeaderLen = 6
 
@@ -66,6 +78,10 @@ const (
 
 	// maxBatch bounds the query count in one batch frame.
 	maxBatch = 1 << 16
+
+	// maxWireSpans bounds the span count in one traced reply so hostile
+	// input cannot force a huge allocation.
+	maxWireSpans = 1 << 10
 )
 
 // Frame-level decode errors. They mean the stream itself can no longer be
@@ -459,6 +475,194 @@ func decodeBatchReply(p []byte) (id uint64, rs []BatchResult, err error) {
 	return id, rs, nil
 }
 
+// --- Traced frames ---
+//
+// Span lists encode as n × (namelen, name bytes, startNs, durNs), all
+// varint-packed. Src is implied: spans on a reply were recorded by the
+// server, so the decoder stamps tracing.SrcServer. Traced frames are
+// only emitted for sampled queries, so their (small) per-span
+// allocations never touch the untraced hot path.
+
+// appendSpans encodes a span list.
+func appendSpans(b []byte, spans []tracing.Span) []byte {
+	if len(spans) > maxWireSpans {
+		spans = spans[:maxWireSpans]
+	}
+	b = appendUvarint(b, uint64(len(spans)))
+	for _, sp := range spans {
+		b = appendUvarint(b, uint64(len(sp.Name)))
+		b = append(b, sp.Name...)
+		b = appendUvarint(b, sp.Start)
+		b = appendUvarint(b, sp.Dur)
+	}
+	return b
+}
+
+// decodeSpans decodes a span list, stamping src on each span.
+func decodeSpans(p []byte, src string) ([]tracing.Span, []byte, error) {
+	n, p, err := uvarintInt(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxWireSpans {
+		return nil, nil, fmt.Errorf("%w: %d spans", errFrameSize, n)
+	}
+	spans := make([]tracing.Span, n)
+	for i := range spans {
+		var nlen int
+		nlen, p, err = uvarintInt(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if nlen > len(p) {
+			return nil, nil, errTruncated
+		}
+		spans[i].Name = string(p[:nlen])
+		spans[i].Src = src
+		p = p[nlen:]
+		if spans[i].Start, p, err = uvarint(p); err != nil {
+			return nil, nil, err
+		}
+		if spans[i].Dur, p, err = uvarint(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	return spans, p, nil
+}
+
+// appendQueryTFrame encodes a traced single-query request frame:
+// id, traceID, query body.
+func appendQueryTFrame(b []byte, id, traceID uint64, q BatchQuery) []byte {
+	b, at := beginFrame(b, opQueryT)
+	b = appendUvarint(b, id)
+	b = appendUvarint(b, traceID)
+	b = appendQueryBody(b, q)
+	return endFrame(b, at)
+}
+
+// decodeQueryRequestT decodes an opQueryT payload.
+func decodeQueryRequestT(p []byte) (id, traceID uint64, q BatchQuery, err error) {
+	if id, p, err = uvarint(p); err != nil {
+		return 0, 0, q, err
+	}
+	if traceID, p, err = uvarint(p); err != nil {
+		return 0, 0, q, err
+	}
+	if q, p, err = decodeQueryBody(p); err != nil {
+		return 0, 0, q, err
+	}
+	if len(p) != 0 {
+		return 0, 0, q, errTruncated
+	}
+	return id, traceID, q, nil
+}
+
+// appendBatchTFrame encodes a traced batch request frame.
+func appendBatchTFrame(b []byte, id, traceID uint64, qs []BatchQuery) []byte {
+	b, at := beginFrame(b, opBatchT)
+	b = appendUvarint(b, id)
+	b = appendUvarint(b, traceID)
+	b = appendUvarint(b, uint64(len(qs)))
+	for _, q := range qs {
+		b = appendQueryBody(b, q)
+	}
+	return endFrame(b, at)
+}
+
+// decodeBatchRequestT decodes an opBatchT payload.
+func decodeBatchRequestT(p []byte) (id, traceID uint64, qs []BatchQuery, err error) {
+	if id, p, err = uvarint(p); err != nil {
+		return 0, 0, nil, err
+	}
+	if traceID, p, err = uvarint(p); err != nil {
+		return 0, 0, nil, err
+	}
+	n, p, err := uvarintInt(p)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if n > maxBatch {
+		return 0, 0, nil, fmt.Errorf("%w: batch of %d queries", errFrameSize, n)
+	}
+	qs = make([]BatchQuery, n)
+	for i := range qs {
+		if qs[i], p, err = decodeQueryBody(p); err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	if len(p) != 0 {
+		return 0, 0, nil, errTruncated
+	}
+	return id, traceID, qs, nil
+}
+
+// appendReplyTFrame encodes a traced single-query reply frame:
+// id, spans, reply body.
+func appendReplyTFrame(b []byte, id uint64, resp NetResponse, spans []tracing.Span) []byte {
+	b, at := beginFrame(b, opReplyT)
+	b = appendUvarint(b, id)
+	b = appendSpans(b, spans)
+	b = appendReplyBody(b, resp)
+	return endFrame(b, at)
+}
+
+// decodeReplyT decodes an opReplyT payload.
+func decodeReplyT(p []byte) (id uint64, r BatchResult, spans []tracing.Span, err error) {
+	if id, p, err = uvarint(p); err != nil {
+		return 0, r, nil, err
+	}
+	if spans, p, err = decodeSpans(p, tracing.SrcServer); err != nil {
+		return 0, r, nil, err
+	}
+	if r, p, err = decodeReplyBody(p); err != nil {
+		return 0, r, nil, err
+	}
+	if len(p) != 0 {
+		return 0, r, nil, errTruncated
+	}
+	return id, r, spans, nil
+}
+
+// appendBatchReplyTFrame encodes a traced batch reply frame:
+// id, spans, n, reply bodies.
+func appendBatchReplyTFrame(b []byte, id uint64, resps []NetResponse, spans []tracing.Span) []byte {
+	b, at := beginFrame(b, opBatchReplyT)
+	b = appendUvarint(b, id)
+	b = appendSpans(b, spans)
+	b = appendUvarint(b, uint64(len(resps)))
+	for _, resp := range resps {
+		b = appendReplyBody(b, resp)
+	}
+	return endFrame(b, at)
+}
+
+// decodeBatchReplyT decodes an opBatchReplyT payload.
+func decodeBatchReplyT(p []byte) (id uint64, rs []BatchResult, spans []tracing.Span, err error) {
+	if id, p, err = uvarint(p); err != nil {
+		return 0, nil, nil, err
+	}
+	if spans, p, err = decodeSpans(p, tracing.SrcServer); err != nil {
+		return 0, nil, nil, err
+	}
+	n, p, err := uvarintInt(p)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if n > maxBatch {
+		return 0, nil, nil, fmt.Errorf("%w: batch reply of %d results", errFrameSize, n)
+	}
+	rs = make([]BatchResult, n)
+	for i := range rs {
+		if rs[i], p, err = decodeReplyBody(p); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	if len(p) != 0 {
+		return 0, nil, nil, errTruncated
+	}
+	return id, rs, spans, nil
+}
+
 // --- JSON fallback encode ---
 //
 // The v1 line protocol stays on the same listener, but its responses no
@@ -522,6 +726,30 @@ func appendJSONResponse(b []byte, resp NetResponse) []byte {
 		}
 		b = append(b, `"error":`...)
 		b = appendJSONString(b, resp.Error)
+		first = false
+	}
+	if len(resp.Spans) > 0 {
+		if !first {
+			b = append(b, ',')
+		}
+		b = append(b, `"spans":[`...)
+		for i, sp := range resp.Spans {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = append(b, `{"name":`...)
+			b = appendJSONString(b, sp.Name)
+			if sp.Src != "" {
+				b = append(b, `,"src":`...)
+				b = appendJSONString(b, sp.Src)
+			}
+			b = append(b, `,"start":`...)
+			b = strconv.AppendUint(b, sp.Start, 10)
+			b = append(b, `,"dur":`...)
+			b = strconv.AppendUint(b, sp.Dur, 10)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
 	}
 	return append(b, '}')
 }
@@ -555,6 +783,10 @@ func appendJSONRequest(b []byte, req NetRequest) []byte {
 	if req.At != 0 {
 		b = append(b, `,"at":`...)
 		b = strconv.AppendUint(b, req.At, 10)
+	}
+	if req.Trace != 0 {
+		b = append(b, `,"trace":`...)
+		b = strconv.AppendUint(b, req.Trace, 10)
 	}
 	return append(b, '}')
 }

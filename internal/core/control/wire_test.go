@@ -289,7 +289,14 @@ func TestWireDifferentialJSONBinary(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer bc.Close()
+	runWireDifferential(t, ts, jc, bc)
+}
 
+// runWireDifferential drives the shared query stream through a JSON and a
+// binary client (also reused with tracing enabled) and requires bit-equal
+// answers.
+func runWireDifferential(t *testing.T, ts uint64, jc *QueryClient, bc *MuxClient) {
+	t.Helper()
 	stream := []BatchQuery{
 		{Kind: IntervalQuery, Port: 0, Start: 1000, End: ts + 1},       // full trace
 		{Kind: IntervalQuery, Port: 0, Start: ts + 100, End: ts + 200}, // empty

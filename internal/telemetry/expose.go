@@ -44,6 +44,93 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return bw.Flush()
 }
 
+// WriteOpenMetrics writes the registry in an OpenMetrics-flavored text
+// rendition: the same line-oriented families as WritePrometheus, plus
+// per-bucket exemplars (`# {trace_id="..."} value`) linking histogram
+// buckets to traces in the trace ring, and the mandatory `# EOF`
+// terminator. Family names are kept verbatim (the repo's counters already
+// carry the _total suffix), so a scraper sees the same series under both
+// content types. Served when a scrape negotiates
+// application/openmetrics-text; the default 0.0.4 output is byte-stable.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.snapshotFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(fam.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(fam.name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.typ.String())
+		bw.WriteByte('\n')
+		for _, sr := range fam.series {
+			switch fam.typ {
+			case counterType:
+				writeSample(bw, fam.name, "", sr.labels, "", sr.c.Load())
+			case gaugeType:
+				writeSample(bw, fam.name, "", sr.labels, "", sr.g.Load())
+			case histogramType:
+				writeHistogramExemplars(bw, fam.name, sr)
+			}
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+// writeHistogramExemplars is writeHistogram with each bucket's exemplar
+// (when one has been recorded) appended OpenMetrics-style.
+func writeHistogramExemplars(bw *bufio.Writer, name string, sr *series) {
+	h := sr.h
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatUint(h.bounds[i], 10)
+		}
+		writeSampleExemplar(bw, name, sr.labels, le, cum, &h.ex[i])
+	}
+	writeSample(bw, name, "_sum", sr.labels, "", h.sum.Load())
+	writeSample(bw, name, "_count", sr.labels, "", cum)
+}
+
+// writeSampleExemplar emits one cumulative bucket line, with a trailing
+// `# {trace_id="..."} value` exemplar when the bucket has one.
+func writeSampleExemplar(bw *bufio.Writer, name string, labels []Label, le string, v int64, ex *exemplarSlot) {
+	bw.WriteString(name)
+	bw.WriteString("_bucket{")
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(l.Key)
+		bw.WriteString(`="`)
+		bw.WriteString(escapeLabel(l.Value))
+		bw.WriteByte('"')
+	}
+	if len(labels) > 0 {
+		bw.WriteByte(',')
+	}
+	bw.WriteString(`le="`)
+	bw.WriteString(le)
+	bw.WriteString(`"} `)
+	bw.WriteString(strconv.FormatInt(v, 10))
+	if id := ex.id.Load(); id != 0 {
+		bw.WriteString(` # {trace_id="`)
+		var hex [16]byte
+		const digits = "0123456789abcdef"
+		for i := 0; i < 16; i++ {
+			hex[i] = digits[(id>>uint(60-4*i))&0xf]
+		}
+		bw.Write(hex[:])
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatUint(ex.val.Load(), 10))
+	}
+	bw.WriteByte('\n')
+}
+
 // snapshotFamilies copies the family/series structure under the lock so
 // exposition never races registration. The metric values themselves are
 // atomics and are read lock-free afterwards.

@@ -6,15 +6,22 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Server is the ops HTTP endpoint: the out-of-band window into a running
 // PrintQueue deployment (the in-band window being the data-plane structures
 // themselves). It serves:
 //
-//	/metrics        Prometheus text exposition of the registry
-//	/healthz        liveness probe ("ok")
+//	/metrics        Prometheus text exposition of the registry; an
+//	                OpenMetrics rendition with trace exemplars when the
+//	                scrape Accepts application/openmetrics-text
+//	/healthz        liveness probe ("ok"), kept for compatibility
+//	/healthz/live   liveness probe: the process serves HTTP
+//	/healthz/ready  readiness probe: 503 with the degradation reasons
+//	                while the instrumented system is not fit for traffic
 //	/debug/vars     expvar JSON (includes the registry snapshot)
 //	/debug/pprof/*  Go runtime profiles
 //
@@ -24,6 +31,11 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 	mux *http.ServeMux
+
+	// ready reports why the instrumented system is NOT ready (empty or nil
+	// = ready). Installed with SetReady; nil func = always ready, so a
+	// bare telemetry server stays backward compatible.
+	ready atomic.Pointer[func() []string]
 
 	closeOnce sync.Once
 	closeErr  error
@@ -42,6 +54,8 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 	s := &Server{reg: reg, ln: ln, mux: mux}
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/healthz", serveHealthz)
+	mux.HandleFunc("/healthz/live", serveHealthz)
+	mux.HandleFunc("/healthz/ready", s.serveReady)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -68,6 +82,18 @@ func (s *Server) HandleJSON(path string, fn func() any) {
 	})
 }
 
+// Handle installs an arbitrary handler at path, for endpoints that need
+// full control over the response (status codes, content types).
+func (s *Server) Handle(path string, h http.Handler) {
+	s.mux.Handle(path, h)
+}
+
+// SetReady installs the readiness check: fn returns the list of reasons the
+// system is degraded (empty = ready). fn must be safe to call concurrently.
+func (s *Server) SetReady(fn func() []string) {
+	s.ready.Store(&fn)
+}
+
 // Addr returns the listening address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
@@ -78,6 +104,14 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) serveMetrics(w http.ResponseWriter, req *http.Request) {
+	// Content negotiation: only a scrape that explicitly accepts
+	// application/openmetrics-text gets the exemplar-bearing rendition;
+	// everything else sees the byte-stable 0.0.4 text format.
+	if strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
 }
@@ -85,4 +119,22 @@ func (s *Server) serveMetrics(w http.ResponseWriter, req *http.Request) {
 func serveHealthz(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("ok\n"))
+}
+
+// serveReady answers the readiness probe: 200 "ok" when the installed
+// check reports no degradation, 503 with one reason per line otherwise.
+func (s *Server) serveReady(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var reasons []string
+	if fn := s.ready.Load(); fn != nil && *fn != nil {
+		reasons = (*fn)()
+	}
+	if len(reasons) == 0 {
+		w.Write([]byte("ok\n"))
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	for _, r := range reasons {
+		w.Write([]byte(r + "\n"))
+	}
 }

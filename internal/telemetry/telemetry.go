@@ -86,10 +86,27 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // with v <= bounds[i] (and > bounds[i-1]); one extra overflow bucket counts
 // everything above the last bound (Prometheus le="+Inf"). Observe is
 // wait-free and allocation-free.
+//
+// Each bucket additionally keeps one exemplar: the trace id and value of
+// the last traced observation that landed there, linking the latency
+// distribution back to a concrete trace in the trace ring. Exemplars are
+// exposed only in the OpenMetrics rendition (WriteOpenMetrics); the
+// default Prometheus 0.0.4 output is unchanged.
 type Histogram struct {
 	bounds []uint64
 	counts []atomic.Int64 // len(bounds)+1, non-cumulative
 	sum    atomic.Int64
+	ex     []exemplarSlot // len(bounds)+1, last traced observation per bucket
+}
+
+// exemplarSlot records the most recent traced observation in one bucket.
+// The id and value are stored with two independent atomics, so a reader
+// racing two writers may pair an id with the other writer's value — an
+// acceptable imprecision for a best-effort debugging pointer, in exchange
+// for keeping the record path wait-free and allocation-free.
+type exemplarSlot struct {
+	id  atomic.Uint64
+	val atomic.Uint64
 }
 
 // Observe records one value.
@@ -100,6 +117,22 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.counts[i].Add(1)
 	h.sum.Add(int64(v))
+}
+
+// ObserveEx records one value, stamping the bucket's exemplar with the
+// given trace id when it is nonzero. A zero trace id (untraced
+// observation) is exactly Observe.
+func (h *Histogram) ObserveEx(v, traceID uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v))
+	if traceID != 0 {
+		h.ex[i].id.Store(traceID)
+		h.ex[i].val.Store(v)
+	}
 }
 
 // Count returns the total number of observations.
@@ -195,7 +228,11 @@ func (r *Registry) lookup(name, help string, typ metricType, bounds []uint64, la
 		case histogramType:
 			b := append([]uint64(nil), bounds...)
 			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-			sr.h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+			sr.h = &Histogram{
+				bounds: b,
+				counts: make([]atomic.Int64, len(b)+1),
+				ex:     make([]exemplarSlot, len(b)+1),
+			}
 		}
 		fam.byKey[key] = sr
 		fam.series = append(fam.series, sr)
@@ -221,6 +258,19 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // its original bounds.
 func (r *Registry) Histogram(name, help string, bounds []uint64, labels ...Label) *Histogram {
 	return r.lookup(name, help, histogramType, bounds, labels).h
+}
+
+// Names returns every registered metric family name, sorted. Tests use it
+// to audit that each registered metric actually appears in the exposition.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for _, fam := range r.families {
+		names = append(names, fam.name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
 }
 
 // labelKey renders labels into a map key. Label order is significant for

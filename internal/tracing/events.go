@@ -1,0 +1,140 @@
+package tracing
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies a data-plane event, mirroring the paper's
+// data-plane triggers: threshold crossings surfaced to the control
+// plane instead of waiting to be polled.
+type EventKind uint8
+
+const (
+	// EventRingHighWater fires when a pipeline shard ring reaches a new
+	// occupancy high-watermark (edge-triggered per watermark value).
+	EventRingHighWater EventKind = iota
+	// EventBackpressure fires at the start of a producer backpressure
+	// episode (ring full, producer spinning).
+	EventBackpressure
+	// EventShed fires when the query server sheds load (admission
+	// control rejects a request or batch).
+	EventShed
+	// EventFreezeStall fires when a checkpoint freeze stalls waiting for
+	// the snapshotter to release a register set (the paper's
+	// "infeasible flip" condition).
+	EventFreezeStall
+
+	numEventKinds
+)
+
+// NumEventKinds is the number of defined kinds (for metric registration).
+const NumEventKinds = int(numEventKinds)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventRingHighWater:
+		return "ring_high_watermark"
+	case EventBackpressure:
+		return "backpressure"
+	case EventShed:
+		return "shed"
+	case EventFreezeStall:
+		return "freeze_stall"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k EventKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// Event is one structured data-plane event.
+type Event struct {
+	TimeNs  uint64    `json:"time_ns"`
+	Kind    EventKind `json:"kind"`
+	Subject string    `json:"subject"` // e.g. "shard=3", "port=0", "netserver"
+	Value   int64     `json:"value"`   // kind-specific: occupancy, ns waited, inflight
+	TraceID string    `json:"trace_id,omitempty"`
+}
+
+// EventLog is a bounded lock-free ring of events plus per-kind totals.
+// Record is safe from any goroutine; all methods are nil-safe so a
+// disabled event plane is a single pointer test.
+type EventLog struct {
+	slots    []atomic.Pointer[Event]
+	pos      atomic.Uint64
+	counters [numEventKinds]Counter
+	totals   [numEventKinds]atomic.Int64
+}
+
+// DefaultEventRingSize bounds the event ring when the caller passes 0.
+const DefaultEventRingSize = 512
+
+// NewEventLog builds an event ring of the given size (0 → default).
+func NewEventLog(size int) *EventLog {
+	if size <= 0 {
+		size = DefaultEventRingSize
+	}
+	return &EventLog{slots: make([]atomic.Pointer[Event], size)}
+}
+
+// SetCounter attaches a metrics hook for one kind.
+func (l *EventLog) SetCounter(k EventKind, c Counter) {
+	if l == nil || int(k) >= len(l.counters) {
+		return
+	}
+	l.counters[k] = c
+}
+
+// Record appends an event. nil-safe; allocates one Event (events are
+// edge-triggered and rare by construction, never per-packet).
+func (l *EventLog) Record(k EventKind, subject string, value int64, traceID uint64) {
+	if l == nil {
+		return
+	}
+	ev := &Event{
+		TimeNs:  uint64(time.Now().UnixNano()),
+		Kind:    k,
+		Subject: subject,
+		Value:   value,
+	}
+	if traceID != 0 {
+		ev.TraceID = FormatID(traceID)
+	}
+	i := (l.pos.Add(1) - 1) % uint64(len(l.slots))
+	l.slots[i].Store(ev)
+	if int(k) < len(l.totals) {
+		l.totals[k].Add(1)
+		if c := l.counters[k]; c != nil {
+			c.Inc()
+		}
+	}
+}
+
+// Events snapshots the ring, newest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	n := len(l.slots)
+	out := make([]Event, 0, n)
+	pos := l.pos.Load()
+	for k := 0; k < n; k++ {
+		i := (pos + uint64(n) - 1 - uint64(k)) % uint64(n)
+		if ev := l.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	return out
+}
+
+// Total returns the lifetime count for one kind. nil-safe.
+func (l *EventLog) Total(k EventKind) int64 {
+	if l == nil || int(k) >= len(l.totals) {
+		return 0
+	}
+	return l.totals[k].Load()
+}

@@ -91,6 +91,12 @@ type DialOptions struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the backoff delay. 0 means the 1s default.
 	BackoffMax time.Duration
+	// Tracer, when non-nil, samples this client's queries into end-to-end
+	// traces: sampled queries carry their trace id to the server, and the
+	// reply brings the server-side spans back into the same trace.
+	// Unsampled queries stay on the untraced wire path and only feed the
+	// tracer's slow-query log. See NewTracer.
+	Tracer *Tracer
 }
 
 // DialQueries connects to a QueryService with default options.
@@ -105,6 +111,7 @@ func DialQueriesOpts(addr string, opts DialOptions) (*QueryClient, error) {
 		MaxRetries:  opts.MaxRetries,
 		BackoffBase: opts.BackoffBase,
 		BackoffMax:  opts.BackoffMax,
+		Tracer:      opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -152,6 +159,7 @@ func DialQueriesMuxOpts(addr string, opts DialOptions) (*MuxQueryClient, error) 
 		MaxRetries:  opts.MaxRetries,
 		BackoffBase: opts.BackoffBase,
 		BackoffMax:  opts.BackoffMax,
+		Tracer:      opts.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,100 @@
+package printqueue
+
+import (
+	"time"
+
+	"printqueue/internal/core/control"
+	"printqueue/internal/tracing"
+)
+
+// This file is the public face of the observability plane added for
+// end-to-end query tracing: per-query span traces that join client and
+// server sides of a wire round trip, an always-on slow-query log, and a
+// bounded ring of data-plane trigger events (backpressure, load shedding,
+// freeze stalls) mirroring the paper's data-plane-triggered diagnoses.
+
+// Tracer samples queries into traces. The nil *Tracer is valid and records
+// nothing, so tracing disabled costs one pointer test on the hot paths.
+type Tracer = tracing.Tracer
+
+// Trace is one recorded query: an id plus named, timestamped spans from
+// both sides of the wire.
+type Trace = tracing.Trace
+
+// TraceView is a Trace rendered to plain JSON-friendly values.
+type TraceView = tracing.View
+
+// TraceSpan is one named stage of a trace.
+type TraceSpan = tracing.Span
+
+// DataPlaneEvent is one structured event from the data-plane event ring.
+type DataPlaneEvent = tracing.Event
+
+// TracingConfig configures System.EnableTracing. The zero value enables
+// the always-on paths only: remote trace ids are honored and slow queries
+// land in the slowlog, but no local query is proactively sampled.
+type TracingConfig struct {
+	// SampleEvery samples 1-in-N locally issued queries into full traces.
+	// 1 traces everything; 0 disables proactive sampling.
+	SampleEvery int
+	// SlowThreshold promotes any query at least this slow into the
+	// always-on slow-trace ring, sampled or not (0 = 10ms).
+	SlowThreshold time.Duration
+	// RingSize / SlowRingSize bound the completed-trace rings (0 = 256/64).
+	RingSize     int
+	SlowRingSize int
+	// MaxSpans bounds the spans kept per trace (0 = 64); overflow is
+	// counted, never grown.
+	MaxSpans int
+	// EventRing bounds the data-plane event ring (0 = 512).
+	EventRing int
+}
+
+// EnableTracing installs the tracing and event planes on the system,
+// registers their metrics in the system registry, and returns the tracer
+// (also reachable later via System.Tracer). Safe to call while traffic
+// flows. The ops endpoint (ServeOps) picks the planes up automatically,
+// exposing /debug/traces, /debug/trace/{id}, /debug/slowlog, and
+// /debug/events.
+func (s *System) EnableTracing(cfg TracingConfig) *Tracer {
+	tr, _ := s.inner.EnableTracing(control.TraceOptions{
+		SampleEvery:  cfg.SampleEvery,
+		SlowNs:       uint64(cfg.SlowThreshold.Nanoseconds()),
+		RingSize:     cfg.RingSize,
+		SlowRingSize: cfg.SlowRingSize,
+		MaxSpans:     cfg.MaxSpans,
+		EventRing:    cfg.EventRing,
+	})
+	return tr
+}
+
+// Tracer returns the system's tracer, or nil when tracing is disabled.
+func (s *System) Tracer() *Tracer { return s.inner.Tracer() }
+
+// Traces returns the completed traces in the ring, newest first.
+func (s *System) Traces() []*Trace { return s.inner.Tracer().Traces() }
+
+// SlowTraces returns the slow-query ring, newest first.
+func (s *System) SlowTraces() []*Trace { return s.inner.Tracer().Slow() }
+
+// Events returns the data-plane event ring, newest first.
+func (s *System) Events() []DataPlaneEvent { return s.inner.Events().Events() }
+
+// NewTracer builds a standalone tracer for query clients: pass it in
+// DialOptions.Tracer so sampled queries carry a trace id to the server and
+// come back with the server-side spans joined in. sampleEvery = 1 traces
+// every query; slowThreshold = 0 keeps the 10ms slowlog default.
+func NewTracer(sampleEvery int, slowThreshold time.Duration) *Tracer {
+	return tracing.New(tracing.Config{
+		SampleEvery: sampleEvery,
+		SlowNs:      uint64(slowThreshold.Nanoseconds()),
+	})
+}
+
+// FormatTrace renders a trace as an indented span tree, client and server
+// stages interleaved by time, for terminal output.
+func FormatTrace(t *Trace) string { return tracing.FormatTree(t) }
+
+// FormatTraceID renders a trace id the way the wire and the ops endpoint
+// do (16 hex digits).
+func FormatTraceID(id uint64) string { return tracing.FormatID(id) }
