@@ -8,6 +8,7 @@
 //	pqquery -addr 127.0.0.1:7171 original -port 0 -queue 0 -at 1500000
 //	pqquery -addr 127.0.0.1:7171 -proto json interval -port 0 -start 0 -end 100
 //	pqquery -addr 127.0.0.1:7171 -batch < queries.txt
+//	pqquery -repeat 3 interval -port 0 -start 0 -end 1000   # cold-vs-warm latency
 //
 // By default pqquery speaks the binary multiplexed v2 wire protocol;
 // -proto json selects the newline-delimited JSON fallback.
@@ -47,6 +48,7 @@ func main() {
 	proto := flag.String("proto", "binary", "wire protocol: binary or json")
 	batch := flag.Bool("batch", false, "read one query per line from stdin, send as one frame (binary only)")
 	trace := flag.Bool("trace", false, "trace every query end to end and print the joined client+server span tree")
+	repeat := flag.Int("repeat", 1, "run the query N times, printing per-attempt latency (shows the server's cold-tier decode cost amortizing into its LRU)")
 	flag.Parse()
 	if flag.NArg() < 1 && !*batch {
 		log.Fatal("usage: pqquery [-addr host:port] [-proto binary|json] [-timeout 5s] [-retries 2] [-trace] interval|original [flags], or -batch < queries")
@@ -88,10 +90,17 @@ func main() {
 		os.Exit(code)
 	}
 
-	report, err := runOne(client, flag.Arg(0), flag.Args()[1:])
-	if err != nil {
-		printTraces(tracer)
-		log.Fatal(err)
+	var report printqueue.Report
+	for i := 0; i < *repeat; i++ {
+		t0 := time.Now()
+		report, err = runOne(client, flag.Arg(0), flag.Args()[1:])
+		if err != nil {
+			printTraces(tracer)
+			log.Fatal(err)
+		}
+		if *repeat > 1 {
+			fmt.Printf("attempt %d: %v\n", i+1, time.Since(t0).Round(time.Microsecond))
+		}
 	}
 	printReport(report, *top)
 	printTraces(tracer)

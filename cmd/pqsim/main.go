@@ -12,6 +12,9 @@
 //	pqsim -serve 127.0.0.1:7171                # host the TCP query API
 //	                                           # (diagnose with cmd/pqquery)
 //	pqsim -ops 127.0.0.1:9090                  # ops endpoint: curl /metrics
+//	pqsim -hist-dir hist -max-checkpoints 32   # durable tiered history:
+//	                                           # RAM holds 32 checkpoints,
+//	                                           # the rest queried from disk
 package main
 
 import (
@@ -46,6 +49,12 @@ var (
 	serveAddr = flag.String("serve", "", "after the run, host the TCP query API on this address until interrupted")
 	opsAddr   = flag.String("ops", "", "host the ops HTTP endpoint (Prometheus /metrics, /healthz, /debug/*) on this address for the whole run")
 	slowN     = flag.Int("slow-traces", 0, "trace every query and dump the slowest N as span trees at exit; 0 = off")
+
+	histDir   = flag.String("hist-dir", "", "enable the tiered checkpoint history: append retired checkpoints to a durable segment log in this directory")
+	histCache = flag.Int64("hist-cache", 0, "cold-tier decoded-checkpoint LRU budget in bytes (0 = default 64 MiB)")
+	histMaxB  = flag.Int64("hist-max-bytes", 0, "history disk budget in bytes; oldest sealed segments pruned while over (0 = unlimited)")
+	histFsync = flag.Int("hist-fsync", 0, "fsync the history log every N checkpoints (0 = only on segment rotation/close)")
+	maxCps    = flag.Int("max-checkpoints", 0, "bound the in-RAM checkpoint history per port; older checkpoints fall to the cold tier (0 = unlimited)")
 )
 
 func main() {
@@ -96,6 +105,12 @@ func main() {
 		st.Enqueued+st.Dropped, st.Dequeued, st.Dropped, st.MaxDepthCells)
 	fmt.Printf("control plane: %d checkpoints, %d special freezes, %d data-plane queries\n\n",
 		pq.Stats().Checkpoints, pq.Stats().SpecialFreezes, len(pq.DataPlaneQueries(0)))
+
+	if hs, ok := pq.HistoryStats(); ok {
+		defer pq.Close()
+		fmt.Printf("history log: %d checkpoints in %d segments, %d bytes on disk (%.1fx smaller than in-memory), %d append errors\n\n",
+			hs.Appended, hs.Segments, hs.BytesOnDisk, hs.CompressionRatio(), hs.AppendErrors)
+	}
 
 	if *saveLog != "" {
 		f, err := os.Create(*saveLog)
@@ -199,6 +214,15 @@ func buildWorkload() ([]printqueue.Packet, printqueue.Config, error) {
 		if *dpTrigger > 0 {
 			c.DPTriggerDepthCells = *dpTrigger
 			c.ReadRateEntriesPerSec = 50e6
+		}
+		c.MaxCheckpoints = *maxCps
+		if *histDir != "" {
+			c.History = &printqueue.HistoryConfig{
+				Dir:        *histDir,
+				CacheBytes: *histCache,
+				MaxBytes:   *histMaxB,
+				FsyncEvery: *histFsync,
+			}
 		}
 		return c
 	}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"printqueue/internal/core/histstore"
 	"printqueue/internal/core/qmonitor"
 	"printqueue/internal/core/registers"
 	"printqueue/internal/core/timewindow"
@@ -53,6 +54,11 @@ type Config struct {
 	// MaxCheckpoints bounds the retained checkpoint history per port
 	// (0 = unlimited). Older checkpoints are discarded FIFO.
 	MaxCheckpoints int
+	// History, when non-nil, enables the tiered checkpoint history: every
+	// retired checkpoint is also appended — compactly encoded — to a
+	// durable segment log, and interval queries that reach past the in-RAM
+	// (hot) tier are answered from the log's cold tier. See histstore.
+	History *histstore.Options
 	// QueryPath selects the interval-query implementation. The default
 	// (QueryPathIndexed) prunes the checkpoint run by coverage and
 	// binary-searches each checkpoint's sorted cell index; QueryPathScan is
@@ -138,25 +144,64 @@ type Checkpoint struct {
 	TW *timewindow.Snapshot
 	QM []*qmonitor.Snapshot // one per queue
 
-	filterOnce sync.Once
-	filtered   *timewindow.Filtered // lazy Algorithm-3 result
+	// filtered is the lazily built Algorithm-3 result. It is droppable:
+	// when the checkpoint falls out of the hot tier its index can be
+	// released (DropFiltered) and rebuilt on demand if the checkpoint is
+	// ever queried again, so evicted history stops pinning query indexes.
+	filtered atomic.Pointer[timewindow.Filtered]
 	// indexNs, when set (by snapshotSet), receives the one-time cost of the
 	// Algorithm-3 filter plus cell-index build.
 	indexNs *telemetry.Histogram
+	// histBytes, when set, tracks the filtered form's resident bytes in the
+	// shared printqueue_history_bytes gauge.
+	histBytes *telemetry.Gauge
 }
 
 // Filtered returns the checkpoint's time windows with Algorithm 3 applied
 // and the per-window cell index built, computing both on first use. It is
-// safe for concurrent use, so query goroutines may share checkpoints.
+// safe for concurrent use, so query goroutines may share checkpoints. Two
+// racing first uses may both build; the CAS winner's result is kept and
+// charged to the history gauge.
 func (c *Checkpoint) Filtered() *timewindow.Filtered {
-	c.filterOnce.Do(func() {
-		start := time.Now()
-		c.filtered = c.TW.Filter()
+	if f := c.filtered.Load(); f != nil {
+		return f
+	}
+	start := time.Now()
+	f := c.TW.Filter()
+	if c.filtered.CompareAndSwap(nil, f) {
 		if c.indexNs != nil {
 			c.indexNs.Observe(uint64(time.Since(start).Nanoseconds()))
 		}
-	})
-	return c.filtered
+		if c.histBytes != nil {
+			c.histBytes.Add(f.MemBytes())
+		}
+		return f
+	}
+	return c.Filtered()
+}
+
+// DropFiltered releases the memoized filtered form (if built), refunding
+// its bytes. Queries holding the old pointer keep working; a later
+// Filtered() call rebuilds.
+func (c *Checkpoint) DropFiltered() {
+	if f := c.filtered.Swap(nil); f != nil && c.histBytes != nil {
+		c.histBytes.Add(-f.MemBytes())
+	}
+}
+
+// memBytes is the checkpoint's raw register-copy footprint (excluding the
+// separately tracked filtered form).
+func (c *Checkpoint) memBytes() int64 {
+	n := int64(0)
+	if c.TW != nil {
+		n += c.TW.MemBytes()
+	}
+	for _, qm := range c.QM {
+		if qm != nil {
+			n += qm.MemBytes()
+		}
+	}
+	return n
 }
 
 // DPQuery is the record of one data-plane-triggered query.
@@ -229,6 +274,7 @@ type queryPathCounters struct {
 	cellsVisited       *telemetry.Counter
 	indexBuildNs       *telemetry.Histogram
 	parallelFanouts    *telemetry.Counter
+	coldCheckpoints    *telemetry.Counter
 }
 
 func (qc *queryPathCounters) register(reg *telemetry.Registry) {
@@ -243,6 +289,8 @@ func (qc *queryPathCounters) register(reg *telemetry.Registry) {
 		telemetry.LatencyBuckets)
 	qc.parallelFanouts = reg.Counter("printqueue_query_parallel_fanouts_total",
 		"Interval queries whose checkpoint run was sharded across query workers.")
+	qc.coldCheckpoints = reg.Counter("printqueue_query_cold_checkpoints_total",
+		"Checkpoints served from the cold (on-disk) history tier by interval queries.")
 }
 
 type portState struct {
@@ -280,7 +328,7 @@ type portState struct {
 	pendingSet [4]bool
 	pendingN   int
 
-	checkpoints []*Checkpoint
+	checkpoints cpRing
 	dpQueries   []*DPQuery
 	// histGen is bumped (under mu) whenever the history's front is trimmed,
 	// invalidating caches keyed on checkpoint indices.
@@ -333,6 +381,11 @@ type System struct {
 	// single atomic load + nil test.
 	tracer atomic.Pointer[tracing.Tracer]
 	events atomic.Pointer[tracing.EventLog]
+	// hist is the durable cold tier of the checkpoint history (nil unless
+	// Config.History is set); histBytes is the shared resident-bytes gauge
+	// covering the hot tier plus the cold tier's decode LRU.
+	hist      *histstore.Store
+	histBytes *telemetry.Gauge
 }
 
 // New builds a System. Register arrays are allocated for r(#ports)
@@ -350,6 +403,15 @@ func New(cfg Config) (*System, error) {
 	}
 	s.stats.register(s.telemetry)
 	s.qpath.register(s.telemetry)
+	s.histBytes = s.telemetry.Gauge("printqueue_history_bytes",
+		"Resident bytes of checkpoint history (hot tier + cold LRU).")
+	if cfg.History != nil {
+		hist, err := histstore.Open(*cfg.History, s.telemetry)
+		if err != nil {
+			return nil, err
+		}
+		s.hist = hist
+	}
 	s.twCoeff = cfg.TW.Coefficients()
 	s.twFiles = make([]*registers.File[timewindow.Cell], cfg.TW.T)
 	for i := range s.twFiles {
@@ -584,6 +646,7 @@ func (s *System) snapshotSet(ps *portState, sel int, freezeTime, prevFreeze uint
 		TW:         ps.tw[sel].Snapshot(),
 		QM:         make([]*qmonitor.Snapshot, s.cfg.QueuesPerPort),
 		indexNs:    s.qpath.indexBuildNs,
+		histBytes:  s.histBytes,
 	}
 	for q := range cp.QM {
 		cp.QM[q] = ps.qm[q][sel].Snapshot()
@@ -592,16 +655,44 @@ func (s *System) snapshotSet(ps *portState, sel int, freezeTime, prevFreeze uint
 	return cp
 }
 
-// retire appends a checkpoint, enforcing the history bound. Trimming the
-// front shifts checkpoint indices, so it bumps the history generation and
-// thereby invalidates the QueryOriginal prefix cache.
-func (ps *portState) retire(cp *Checkpoint, max int) {
+// retire appends a checkpoint, enforcing the history bound, and returns
+// the checkpoint evicted to make room (nil when none). With a bounded
+// history the ring overwrites its oldest slot in place, so steady-state
+// retirement is O(1) — no per-checkpoint slice re-copy. Trimming the front
+// shifts checkpoint indices, so it bumps the history generation and thereby
+// invalidates the QueryOriginal prefix cache.
+func (ps *portState) retire(cp *Checkpoint, max int) *Checkpoint {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	ps.checkpoints = append(ps.checkpoints, cp)
-	if max > 0 && len(ps.checkpoints) > max {
-		ps.checkpoints = ps.checkpoints[len(ps.checkpoints)-max:]
+	evicted := ps.checkpoints.push(cp, max)
+	if evicted != nil {
 		ps.histGen++
+	}
+	return evicted
+}
+
+// retireCheckpoint is the full retirement path: ring insert, hot-tier byte
+// accounting, the evicted checkpoint's index drop, and the durable-log
+// append (when the tiered history is enabled). Callers must invoke it off
+// the per-packet hot path (it is: flips and DP freezes only).
+func (s *System) retireCheckpoint(ps *portState, cp *Checkpoint) {
+	evicted := ps.retire(cp, s.cfg.MaxCheckpoints)
+	s.histBytes.Add(cp.memBytes())
+	if evicted != nil {
+		s.histBytes.Add(-evicted.memBytes())
+		evicted.DropFiltered()
+	}
+	if s.hist != nil {
+		// Append failures are counted by the store's own error counter; the
+		// hot tier keeps serving, so ingestion never stops on a disk fault.
+		_ = s.hist.Append(&histstore.Record{
+			Port:       ps.id,
+			FreezeTime: cp.FreezeTime,
+			PrevFreeze: cp.PrevFreeze,
+			Special:    cp.Special,
+			TW:         cp.TW,
+			QM:         cp.QM,
+		})
 	}
 }
 
@@ -616,23 +707,24 @@ func (ps *portState) snapshotCheckpoints() []*Checkpoint {
 func (ps *portState) snapshotCheckpointsGen() ([]*Checkpoint, uint64) {
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
-	out := make([]*Checkpoint, len(ps.checkpoints))
-	copy(out, ps.checkpoints)
-	return out, ps.histGen
+	return ps.checkpoints.slice(), ps.histGen
 }
 
 // snapshotRun binary-searches the history for the run of checkpoints whose
 // coverage overlaps [start, end) and copies only that run — pruning before
 // the copy, so a narrow query over a deep history never materializes the
 // whole checkpoint list. Also returns the total history length for the
-// pruning counters.
-func (ps *portState) snapshotRun(start, end uint64) (run []*Checkpoint, total int) {
+// pruning counters and the hot tier's coverage start (the oldest retained
+// checkpoint's PrevFreeze; ^uint64(0) when the history is empty), which the
+// cold tier uses to avoid double counting.
+func (ps *portState) snapshotRun(start, end uint64) (run []*Checkpoint, total int, hotStart uint64) {
 	ps.mu.RLock()
 	defer ps.mu.RUnlock()
-	r := pruneCheckpoints(ps.checkpoints, start, end)
-	out := make([]*Checkpoint, len(r))
-	copy(out, r)
-	return out, len(ps.checkpoints)
+	hotStart = ^uint64(0)
+	if ps.checkpoints.len() > 0 {
+		hotStart = ps.checkpoints.at(0).PrevFreeze
+	}
+	return ps.checkpoints.pruneCopy(start, end), ps.checkpoints.len(), hotStart
 }
 
 // markPending records that register set sel has a frozen read in flight.
@@ -708,7 +800,7 @@ func (s *System) flip(ps *portState, now uint64) {
 	} else {
 		start := time.Now()
 		cp := s.snapshotSet(ps, oldSel, now, prevFreeze, false)
-		ps.retire(cp, s.cfg.MaxCheckpoints)
+		s.retireCheckpoint(ps, cp)
 		s.stats.freezeRetireNs.Observe(uint64(time.Since(start).Nanoseconds()))
 	}
 	ps.writeSel = newSel
@@ -735,7 +827,7 @@ func (s *System) dataPlaneQuery(ps *portState, p *pktrec.Packet, queue int, now 
 	}
 	start := time.Now()
 	cp := s.snapshotSet(ps, ps.writeSel.index(), now, ps.lastFlip, true)
-	ps.retire(cp, s.cfg.MaxCheckpoints)
+	s.retireCheckpoint(ps, cp)
 	s.stats.freezeRetireNs.Observe(uint64(time.Since(start).Nanoseconds()))
 	s.stats.specialFreezes.Add(1)
 	oldSel := ps.writeSel.index()
@@ -865,9 +957,14 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 		sp.End()
 		return counts, nil
 	}
-	run, histLen := ps.snapshotRun(start, end)
+	run, histLen, hotStart := ps.snapshotRun(start, end)
 	s.qpath.checkpointsPruned.Add(int64(histLen - len(run)))
 	s.qpath.checkpointsScanned.Add(int64(len(run)))
+	// The cold tier serves the part of the interval below the hot tier's
+	// coverage (checkpoints already evicted from RAM but retained in the
+	// segment log). It accumulates into the same exact integer form, so
+	// merging tiers is bit-identical to a single deep in-RAM history.
+	cold, coldEnd := s.coldRun(port, start, end, hotStart)
 	shards := 0
 	if sem != nil {
 		shards = cap(sem)
@@ -878,7 +975,9 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 	if len(run) < parallelMinRun || shards < 2 {
 		sp := tr.StartSpan("server.accumulate", tracing.SrcServer)
 		acc := timewindow.NewAccumulator(s.cfg.TW.T, s.twCoeff)
-		s.qpath.cellsVisited.Add(int64(accumulateRun(acc, run, start, end, false)))
+		visited := accumulateRun(acc, run, start, end, false)
+		visited += accumulateCold(acc, cold, start, coldEnd)
+		s.qpath.cellsVisited.Add(int64(visited))
 		counts := acc.Counts()
 		sp.End()
 		return counts, nil
@@ -925,6 +1024,7 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 		total.Merge(accs[c])
 		visited += cells[c]
 	}
+	visited += accumulateCold(total, cold, start, coldEnd)
 	s.qpath.cellsVisited.Add(int64(visited))
 	counts := total.Counts()
 	spM.End()

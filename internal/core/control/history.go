@@ -1,0 +1,167 @@
+package control
+
+// This file holds the checkpoint-history containers and the cold-tier query
+// glue: the O(1) retirement ring for the hot (in-RAM) tier, and the bridge
+// from interval queries to the durable histstore segment log.
+
+import (
+	"sort"
+
+	"printqueue/internal/core/histstore"
+	"printqueue/internal/core/timewindow"
+)
+
+// cpRing is a growable ring buffer of checkpoints ordered oldest to newest.
+// While the history is unbounded (max == 0) it doubles like a slice; once
+// it reaches the configured bound, every push overwrites the oldest slot in
+// place, so steady-state retirement does no copying and recycles no memory
+// beyond the evicted checkpoint itself.
+type cpRing struct {
+	buf  []*Checkpoint
+	head int // index of the oldest checkpoint
+	n    int
+}
+
+// push appends cp. When the ring already holds max checkpoints (max > 0),
+// the oldest is overwritten in place and returned.
+func (r *cpRing) push(cp *Checkpoint, max int) (evicted *Checkpoint) {
+	if max > 0 && r.n >= max {
+		evicted = r.buf[r.head]
+		r.buf[r.head] = cp
+		r.head = r.next(r.head)
+		return evicted
+	}
+	if r.n == len(r.buf) {
+		r.grow(max)
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = cp
+	r.n++
+	return nil
+}
+
+// grow reallocates to double capacity (bounded by max when set),
+// straightening the ring so head returns to 0.
+func (r *cpRing) grow(max int) {
+	newCap := len(r.buf) * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	if max > 0 && newCap > max {
+		newCap = max
+	}
+	buf := make([]*Checkpoint, newCap)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.at(i)
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+func (r *cpRing) next(i int) int {
+	if i++; i == len(r.buf) {
+		return 0
+	}
+	return i
+}
+
+// at returns the i-th oldest checkpoint.
+func (r *cpRing) at(i int) *Checkpoint { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *cpRing) len() int { return r.n }
+
+// slice copies the ring, oldest first, into a fresh slice.
+func (r *cpRing) slice() []*Checkpoint {
+	out := make([]*Checkpoint, r.n)
+	for i := range out {
+		out[i] = r.at(i)
+	}
+	return out
+}
+
+// pruneCopy is pruneCheckpoints over the ring: it binary-searches the
+// logical (oldest-first) order for the run overlapping [start, end) —
+// relying on the same monotone FreezeTime/PrevFreeze invariants — and
+// copies only that run.
+func (r *cpRing) pruneCopy(start, end uint64) []*Checkpoint {
+	lo := sort.Search(r.n, func(i int) bool { return r.at(i).FreezeTime > start })
+	hi := sort.Search(r.n, func(i int) bool { return r.at(i).PrevFreeze >= end })
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]*Checkpoint, hi-lo)
+	for i := range out {
+		out[i] = r.at(lo + i)
+	}
+	return out
+}
+
+// coldRun fetches the cold-tier checkpoints for a query over [start, end)
+// whose hot tier starts covering at hotStart. The tiers partition trace
+// time exactly at hotStart — every checkpoint at or below it has been
+// retired into the log, every one above it is in RAM — so the cold
+// contribution is clamped to [start, min(end, hotStart)) and nothing is
+// counted twice. Returns nil when the store is absent, the interval is
+// fully hot, or the store errors (queries degrade to hot-only rather than
+// fail; decode errors are counted by the store).
+func (s *System) coldRun(port int, start, end, hotStart uint64) ([]*histstore.ColdCheckpoint, uint64) {
+	coldEnd := end
+	if hotStart < coldEnd {
+		coldEnd = hotStart
+	}
+	if s.hist == nil || coldEnd <= start {
+		return nil, coldEnd
+	}
+	cold, err := s.hist.Covering(port, start, coldEnd)
+	if err != nil {
+		return nil, coldEnd
+	}
+	s.qpath.coldCheckpoints.Add(int64(len(cold)))
+	return cold, coldEnd
+}
+
+// accumulateCold folds the cold checkpoints' clamped coverages into acc,
+// mirroring accumulateRun for the hot tier; coldEnd caps every coverage at
+// the hot tier's start. Integer accumulation makes the tier split
+// commutative: the merged result is bit-identical to a query over a pure
+// in-RAM history holding the same checkpoints.
+func accumulateCold(acc *timewindow.Accumulator, cold []*histstore.ColdCheckpoint, start, coldEnd uint64) int {
+	visited := 0
+	for _, cc := range cold {
+		rec := cc.Record()
+		lo, hi := start, coldEnd
+		if rec.PrevFreeze > lo {
+			lo = rec.PrevFreeze
+		}
+		if rec.FreezeTime < hi {
+			hi = rec.FreezeTime
+		}
+		if hi <= lo {
+			continue
+		}
+		visited += cc.Filtered().AccumulateInto(acc, lo, hi)
+	}
+	return visited
+}
+
+// HistoryStats returns the durable history store's statistics; ok is false
+// when the tiered history is disabled.
+func (s *System) HistoryStats() (histstore.Stats, bool) {
+	if s.hist == nil {
+		return histstore.Stats{}, false
+	}
+	return s.hist.Stats(), true
+}
+
+// HistoryBytes returns the resident bytes of checkpoint history across the
+// hot tier and the cold-tier LRU (the printqueue_history_bytes gauge).
+func (s *System) HistoryBytes() int64 { return s.histBytes.Load() }
+
+// Close releases the system's durable resources: it seals and closes the
+// history store (if enabled). The in-RAM system remains queryable. Callers
+// running a Pipeline must close it first.
+func (s *System) Close() error {
+	if s.hist == nil {
+		return nil
+	}
+	return s.hist.Close()
+}

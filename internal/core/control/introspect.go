@@ -1,5 +1,7 @@
 package control
 
+import "printqueue/internal/core/histstore"
+
 // This file builds the /debug/pipeline introspection snapshot: a JSON-able
 // view of the deployment's shape (ports, shard assignment, ring state) and
 // live accounting, for operators who want structure rather than the flat
@@ -14,7 +16,16 @@ type Introspection struct {
 	Ports         []PortInfo `json:"ports"`
 	// Pipeline is nil while the system ingests synchronously.
 	Pipeline *PipelineInfo `json:"pipeline,omitempty"`
-	Stats    Stats         `json:"stats"`
+	// History is nil unless the tiered checkpoint history is enabled.
+	History *HistoryInfo `json:"history,omitempty"`
+	Stats   Stats        `json:"stats"`
+}
+
+// HistoryInfo is the durable history store's state plus the resident bytes
+// of checkpoint history across both tiers.
+type HistoryInfo struct {
+	histstore.Stats
+	ResidentBytes int64 `json:"resident_bytes"`
 }
 
 // PortInfo is one activated port's accounting.
@@ -55,7 +66,7 @@ func (s *System) Introspect() Introspection {
 	for _, port := range s.cfg.Ports {
 		ps := s.ports[port]
 		ps.mu.RLock()
-		ncp, ndq := len(ps.checkpoints), len(ps.dpQueries)
+		ncp, ndq := ps.checkpoints.len(), len(ps.dpQueries)
 		ps.mu.RUnlock()
 		in.Ports = append(in.Ports, PortInfo{
 			Port:        port,
@@ -63,6 +74,9 @@ func (s *System) Introspect() Introspection {
 			Checkpoints: ncp,
 			DPQueries:   ndq,
 		})
+	}
+	if st, ok := s.HistoryStats(); ok {
+		in.History = &HistoryInfo{Stats: st, ResidentBytes: s.HistoryBytes()}
 	}
 	if pl := s.pipe.Load(); pl != nil {
 		pi := &PipelineInfo{

@@ -306,7 +306,10 @@ func (sn *snapshotter) run() {
 	defer sn.wg.Done()
 	for job := range sn.ch {
 		cp := sn.sys.snapshotSet(job.ps, job.sel, job.freezeTime, job.prevFreeze, false)
-		job.ps.retire(cp, sn.sys.cfg.MaxCheckpoints)
+		// The durable-log append happens inside retireCheckpoint, before the
+		// pending bit clears: a data-plane freeze that drained this read can
+		// therefore never append its (newer) checkpoint ahead of this one.
+		sn.sys.retireCheckpoint(job.ps, cp)
 		job.ps.clearPending(job.sel)
 		sn.sys.stats.freezeRetireNs.Observe(uint64(time.Since(job.frozenAt).Nanoseconds()))
 	}

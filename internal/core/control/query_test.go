@@ -203,7 +203,7 @@ func TestQueryOriginalPrefixMemo(t *testing.T) {
 	ps := s.ports[0]
 	ps.mu.RLock()
 	gen := ps.histGen
-	n := len(ps.checkpoints)
+	n := ps.checkpoints.len()
 	ps.mu.RUnlock()
 	if gen == 0 {
 		t.Fatal("history never trimmed; MaxCheckpoints not exercised")

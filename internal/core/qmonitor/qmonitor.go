@@ -15,6 +15,7 @@ package qmonitor
 
 import (
 	"fmt"
+	"unsafe"
 
 	"printqueue/internal/flow"
 )
@@ -162,6 +163,40 @@ func (s *Snapshot) Config() Config { return s.cfg }
 
 // Top returns the snapshot's stack-top level.
 func (s *Snapshot) Top() int { return s.top }
+
+// Entries exposes the snapshot's raw register entries, indexed by level.
+// The caller must treat them as read-only; the checkpoint codec walks them
+// to build its compact on-disk encoding.
+func (s *Snapshot) Entries() []Entry { return s.entries }
+
+// NewSnapshot reconstitutes a Snapshot from decoded register contents — the
+// inverse of Entries(), used by the on-disk checkpoint codec. The entries
+// slice is adopted, not copied, and must hold exactly cfg.Entries() entries.
+// A snapshot rebuilt this way is bit-identical to the one it was encoded
+// from: Merge, OriginalCulprits, and the staircase filter see the same state.
+func NewSnapshot(cfg Config, entries []Entry, top int) (*Snapshot, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(entries) != cfg.Entries() {
+		return nil, fmt.Errorf("qmonitor: snapshot length %d, want %d", len(entries), cfg.Entries())
+	}
+	if top < 0 || top >= len(entries) {
+		return nil, fmt.Errorf("qmonitor: snapshot top %d out of range [0,%d)", top, len(entries))
+	}
+	return &Snapshot{cfg: cfg, entries: entries, top: top}, nil
+}
+
+// entryMemBytes is the in-memory footprint of one register entry, used by
+// the MemBytes estimate.
+var entryMemBytes = int64(unsafe.Sizeof(Entry{}))
+
+// MemBytes estimates the resident size of the snapshot — the register copy
+// plus its slice header — for the history byte budget and the on-disk
+// compression ratio.
+func (s *Snapshot) MemBytes() int64 {
+	return int64(len(s.entries))*entryMemBytes + 24
+}
 
 // Culprit is one original culprit: the packet whose arrival raised the
 // queue to Level.

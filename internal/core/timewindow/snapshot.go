@@ -2,6 +2,7 @@ package timewindow
 
 import (
 	"sort"
+	"unsafe"
 
 	"printqueue/internal/flow"
 )
@@ -15,6 +16,65 @@ type Snapshot struct {
 
 // Config returns the snapshot's window configuration.
 func (s *Snapshot) Config() Config { return s.cfg }
+
+// Windows exposes the snapshot's raw register contents, one slice of
+// cfg.Cells() cells per window. The caller must treat the cells as
+// read-only; the checkpoint codec walks them to build its compact on-disk
+// encoding.
+func (s *Snapshot) Windows() [][]Cell { return s.windows }
+
+// NewSnapshot reconstitutes a Snapshot from decoded register contents — the
+// inverse of Windows(), used by the on-disk checkpoint codec. The storage is
+// adopted, not copied: windows must contain exactly cfg.T slices of
+// cfg.Cells() cells and must not be mutated afterwards. A snapshot rebuilt
+// from the cells of another snapshot is bit-identical to it, so queries over
+// the two produce the same results.
+func NewSnapshot(cfg Config, windows [][]Cell) (*Snapshot, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(windows) != cfg.T {
+		return nil, errStorage(cfg, len(windows))
+	}
+	for i := range windows {
+		if len(windows[i]) != cfg.Cells() {
+			return nil, errStorage(cfg, len(windows[i]))
+		}
+	}
+	return &Snapshot{cfg: cfg, windows: windows}, nil
+}
+
+// cellMemBytes is the in-memory footprint of one register cell, used by the
+// MemBytes estimates that drive the history byte budget and the on-disk
+// compression ratio.
+var cellMemBytes = int64(unsafe.Sizeof(Cell{}))
+
+// MemBytes estimates the resident size of the snapshot: the flat register
+// copy plus slice headers. It is the "in-memory form" against which the
+// checkpoint codec's encoded size is compared.
+func (s *Snapshot) MemBytes() int64 {
+	n := int64(len(s.windows)) * 24 // slice headers
+	for _, w := range s.windows {
+		n += int64(len(w)) * cellMemBytes
+	}
+	return n
+}
+
+// MemBytes estimates the resident size of the filtered snapshot: the
+// retained cells, the sorted cell index, and the interned flow table. The
+// checkpoint history's byte gauge charges this when a checkpoint's filter
+// result is built and refunds it when the result is dropped.
+func (f *Filtered) MemBytes() int64 {
+	n := int64(len(f.windows))*24 + int64(len(f.anchorTTS))*8 +
+		int64(len(f.coeff)+len(f.ones))*8 + int64(len(f.flows))*16
+	for _, w := range f.windows {
+		n += int64(len(w)) * cellMemBytes
+	}
+	for _, refs := range f.index {
+		n += int64(len(refs)) * 16
+	}
+	return n
+}
 
 // latestCell scans window 0 for the most recent valid cell and returns its
 // window-0 TTS (cycleID<<k | index) — the paper's LatestCell(). ok is false

@@ -30,6 +30,9 @@ import (
 //	/debug/vars       expvar JSON, including the metric registry snapshot
 //	/debug/pipeline   JSON introspection: ports, shard assignment, ring
 //	                  state, live stats
+//	/debug/history    tiered checkpoint history: segments, bytes on disk,
+//	                  cache hit/miss, compression ratio inputs, resident
+//	                  bytes across tiers
 //	/debug/traces     recent completed traces, newest first (tracing on)
 //	/debug/trace/{id} one trace by 16-hex-digit id
 //	/debug/slowlog    the always-on slow-query trace ring
@@ -57,6 +60,14 @@ func (s *System) ServeOps(addr string) (*OpsService, error) {
 	}
 	srv.SetReady(s.inner.Degraded)
 	srv.HandleJSON("/debug/pipeline", func() any { return s.inner.Introspect() })
+	srv.HandleJSON("/debug/history", func() any {
+		st, ok := s.HistoryStats()
+		return map[string]any{
+			"enabled":        ok,
+			"stats":          st,
+			"resident_bytes": s.inner.HistoryBytes(),
+		}
+	})
 	srv.HandleJSON("/debug/traces", func() any { return traceViews(s.inner.Tracer().Traces()) })
 	srv.HandleJSON("/debug/slowlog", func() any { return traceViews(s.inner.Tracer().Slow()) })
 	srv.HandleJSON("/debug/events", func() any {

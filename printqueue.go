@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"printqueue/internal/core/control"
+	"printqueue/internal/core/histstore"
 	"printqueue/internal/core/qmonitor"
 	"printqueue/internal/core/timewindow"
 	"printqueue/internal/flow"
@@ -160,6 +161,72 @@ type Config struct {
 	// indexed path (checkpoint pruning + per-window cell index), or the
 	// reference full scan kept for ablation. Results are bit-identical.
 	QueryPath QueryPath
+	// History, when non-nil, enables the tiered checkpoint history: every
+	// retired checkpoint is compactly encoded and appended to a durable
+	// segment log, and interval queries reaching past the in-RAM history
+	// (MaxCheckpoints) are answered from the log. Call Close to seal it.
+	History *HistoryConfig
+}
+
+// HistoryConfig configures the durable, tiered checkpoint history.
+type HistoryConfig struct {
+	// Dir is the segment-log directory (created if absent). Required.
+	Dir string
+	// SegmentBytes is the segment rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// MaxBytes bounds total bytes on disk; oldest sealed segments are
+	// dropped whole while over. 0 = unlimited.
+	MaxBytes int64
+	// MaxAge bounds retention by trace time: sealed segments entirely older
+	// than MaxAge before the newest checkpoint are dropped. 0 = unlimited.
+	// (Trace time, not wall time: one nanosecond of simulated traffic ages
+	// history by one nanosecond.)
+	MaxAge time.Duration
+	// FsyncEvery fsyncs the log after every N appended checkpoints; 0
+	// syncs only on segment rotation and Close.
+	FsyncEvery int
+	// CacheBytes budgets the decoded-checkpoint LRU that keeps repeated
+	// cold queries fast (default 64 MiB).
+	CacheBytes int64
+}
+
+func (h *HistoryConfig) internal() *histstore.Options {
+	if h == nil {
+		return nil
+	}
+	return &histstore.Options{
+		Dir:          h.Dir,
+		SegmentBytes: h.SegmentBytes,
+		MaxBytes:     h.MaxBytes,
+		MaxAgeNs:     uint64(h.MaxAge.Nanoseconds()),
+		FsyncEvery:   h.FsyncEvery,
+		CacheBytes:   h.CacheBytes,
+	}
+}
+
+// HistoryStats summarizes the durable history store.
+type HistoryStats struct {
+	Segments         int   // segment files on disk
+	BytesOnDisk      int64 // total log bytes
+	CacheBytes       int64 // resident bytes of the decoded-checkpoint LRU
+	Appended         int64 // checkpoints appended
+	AppendErrors     int64 // appends that failed (encode or I/O)
+	EncodedBytes     int64 // encoded payload bytes appended
+	RawBytes         int64 // in-memory bytes of the same checkpoints
+	CacheHits        int64 // cold queries served from the LRU
+	CacheMisses      int64 // cold queries that decoded from disk
+	PrunedSegments   int64 // sealed segments dropped by retention
+	RecoveredRecords int   // records recovered from unsealed segments at open
+	TruncatedBytes   int64 // torn-tail bytes truncated at open
+}
+
+// CompressionRatio returns in-memory bytes per encoded byte for the
+// checkpoints appended so far (0 until something is appended).
+func (h HistoryStats) CompressionRatio() float64 {
+	if h.EncodedBytes == 0 {
+		return 0
+	}
+	return float64(h.RawBytes) / float64(h.EncodedBytes)
 }
 
 // QueryPath selects how interval queries walk the checkpoint history.
@@ -277,6 +344,7 @@ func New(cfg Config) (*System, error) {
 		MaxCheckpoints:        cfg.MaxCheckpoints,
 		QueryPath:             cfg.QueryPath.internal(),
 		DPTrigger:             cfg.dpTrigger(),
+		History:               cfg.History.internal(),
 	})
 	if err != nil {
 		return nil, err
@@ -405,6 +473,33 @@ func (s *System) DataPlaneQueries(port int) []DataPlaneQuery {
 	}
 	return out
 }
+
+// HistoryStats returns the durable history store's statistics; ok is false
+// when Config.History is not set.
+func (s *System) HistoryStats() (HistoryStats, bool) {
+	st, ok := s.inner.HistoryStats()
+	if !ok {
+		return HistoryStats{}, false
+	}
+	return HistoryStats{
+		Segments:         st.Segments,
+		BytesOnDisk:      st.BytesOnDisk,
+		CacheBytes:       st.CacheBytes,
+		Appended:         st.Appended,
+		AppendErrors:     st.AppendErrors,
+		EncodedBytes:     st.EncodedBytes,
+		RawBytes:         st.RawBytes,
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		PrunedSegments:   st.PrunedSegments,
+		RecoveredRecords: st.RecoveredRecords,
+		TruncatedBytes:   st.TruncatedBytes,
+	}, true
+}
+
+// Close seals and closes the durable history log (a no-op without one).
+// The in-RAM system remains queryable afterwards; close any Pipeline first.
+func (s *System) Close() error { return s.inner.Close() }
 
 // Stats returns control-plane counters.
 func (s *System) Stats() Stats {
