@@ -952,8 +952,24 @@ func (s *System) queryIntervalSharded(port int, start, end uint64, sem chan stru
 		return nil, fmt.Errorf("control: empty query interval [%d, %d)", start, end)
 	}
 	if s.cfg.QueryPath == QueryPathScan {
+		// The scan path walks the whole hot history linearly, but the cold
+		// tier still serves the part of the interval below the oldest
+		// retained checkpoint — otherwise a bounded hot tier would silently
+		// shrink scan answers and break the documented bit-identity with
+		// the indexed path.
 		sp := tr.StartSpan("server.accumulate", tracing.SrcServer)
-		counts := s.queryCheckpoints(ps.snapshotCheckpoints(), start, end)
+		cps := ps.snapshotCheckpoints()
+		hotStart := ^uint64(0)
+		if len(cps) > 0 {
+			hotStart = cps[0].PrevFreeze
+		}
+		cold, coldEnd := s.coldRun(port, start, end, hotStart)
+		acc := timewindow.NewAccumulator(s.cfg.TW.T, s.twCoeff)
+		s.qpath.checkpointsScanned.Add(int64(len(cps)))
+		visited := accumulateRun(acc, cps, start, end, true)
+		visited += accumulateCold(acc, cold, start, coldEnd)
+		s.qpath.cellsVisited.Add(int64(visited))
+		counts := acc.Counts()
 		sp.End()
 		return counts, nil
 	}

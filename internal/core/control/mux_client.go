@@ -2,7 +2,6 @@ package control
 
 import (
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -60,8 +59,7 @@ type MuxClient struct {
 	// wmu serializes frame writes (a frame must hit the wire contiguously).
 	wmu sync.Mutex
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	jit   *jitterSource
 	sleep func(time.Duration) // test hook; time.Sleep
 
 	timeouts, retries, reconnects      atomic.Int64
@@ -116,7 +114,7 @@ func DialMuxOpts(addr string, opts DialOptions) (*MuxClient, error) {
 		backoffMax:   backoffMax,
 		dialer:       dialer,
 		pending:      make(map[uint64]chan muxReply),
-		rng:          rand.New(rand.NewSource(seed)),
+		jit:          newJitterSource(seed),
 		sleep:        time.Sleep,
 		timeoutCtr:   opts.Timeouts,
 		retryCtr:     opts.Retries,
@@ -340,24 +338,10 @@ func (c *MuxClient) noteTimeout(err error) error {
 	return err
 }
 
-// backoff mirrors QueryClient.backoff; the PRNG is locked because mux
-// round trips retry from many goroutines.
+// backoff mirrors QueryClient.backoff; the jitter source is lock-free
+// because mux round trips retry from many goroutines at once.
 func (c *MuxClient) backoff(attempt int) time.Duration {
-	d := c.backoffBase
-	if d <= 0 {
-		return 0
-	}
-	for i := 1; i < attempt && d < c.backoffMax; i++ {
-		d *= 2
-	}
-	if d > c.backoffMax {
-		d = c.backoffMax
-	}
-	half := d / 2
-	c.rngMu.Lock()
-	j := c.rng.Int63n(int64(half) + 1)
-	c.rngMu.Unlock()
-	return half + time.Duration(j)
+	return backoffDur(c.backoffBase, c.backoffMax, attempt, c.jit)
 }
 
 // roundTrip performs one query with the retry budget. encode builds the
@@ -437,6 +421,21 @@ func (c *MuxClient) query(q BatchQuery) (map[string]float64, error) {
 		t0 = time.Now()
 		tr = c.tracer.Start(name)
 	}
+	counts, err := c.queryTraced(q, tr)
+	if tr != nil {
+		tr.FinishErr(err)
+	} else if c.tracer != nil {
+		c.tracer.MaybeSlow(name, t0, time.Since(t0), err)
+	}
+	return counts, err
+}
+
+// queryTraced runs one single-query round trip recording into tr, a
+// caller-owned trace that is NOT finished here — callers that fan one
+// logical operation out to many switches (the fleet collector) pass the
+// same trace to every leg so the per-hop client spans and each hop's
+// server-side spans all join under one id. tr may be nil (untraced).
+func (c *MuxClient) queryTraced(q BatchQuery, tr *tracing.Trace) (map[string]float64, error) {
 	encode := func(b []byte, id uint64) []byte { return appendQueryFrame(b, id, q) }
 	if tr != nil {
 		encode = func(b []byte, id uint64) []byte { return appendQueryTFrame(b, id, tr.ID(), q) }
@@ -451,11 +450,6 @@ func (c *MuxClient) query(q BatchQuery) (map[string]float64, error) {
 			return r, nil
 		},
 	)
-	if tr != nil {
-		tr.FinishErr(err)
-	} else if c.tracer != nil {
-		c.tracer.MaybeSlow(name, t0, time.Since(t0), err)
-	}
 	if err != nil {
 		return nil, err
 	}
@@ -469,6 +463,14 @@ func (c *MuxClient) query(q BatchQuery) (map[string]float64, error) {
 // Interval queries per-flow packet counts over [start, end) on a port.
 func (c *MuxClient) Interval(port int, start, end uint64) (map[string]float64, error) {
 	return c.query(BatchQuery{Kind: IntervalQuery, Port: port, Start: start, End: end})
+}
+
+// IntervalTraced is Interval recording into a caller-owned trace (nil =
+// untraced). The trace's id travels on the wire so the server's spans fold
+// into it; the caller finishes the trace — this lets one fleet-level trace
+// absorb every hop's round trip.
+func (c *MuxClient) IntervalTraced(port int, start, end uint64, tr *tracing.Trace) (map[string]float64, error) {
+	return c.queryTraced(BatchQuery{Kind: IntervalQuery, Port: port, Start: start, End: end}, tr)
 }
 
 // Original queries the original culprits at time t on a port/queue.

@@ -7,7 +7,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -741,7 +740,9 @@ type DialOptions struct {
 	// subsequent retry with jitter in [d/2, d]. 0 means
 	// DefaultBackoffBase; negative disables backoff waits.
 	BackoffBase time.Duration
-	// BackoffMax caps the exponential backoff. 0 means DefaultBackoffMax.
+	// BackoffMax caps the exponential backoff. 0 means DefaultBackoffMax;
+	// a value below BackoffBase (including negative) is clamped up to
+	// BackoffBase, so the cap can never invert the backoff window.
 	BackoffMax time.Duration
 	// Seed seeds the jitter PRNG so chaos tests are reproducible. 0 means
 	// a fixed default seed (the client's behavior is deterministic for a
@@ -804,7 +805,7 @@ type QueryClient struct {
 	wbuf   []byte
 	broken bool
 	lastID uint64
-	rng    *rand.Rand
+	jit    *jitterSource
 	sleep  func(time.Duration) // test hook; time.Sleep
 
 	timeouts, retries, reconnects      atomic.Int64
@@ -866,7 +867,7 @@ func DialOpts(addr string, opts DialOptions) (*QueryClient, error) {
 		backoffBase:  backoffBase,
 		backoffMax:   backoffMax,
 		dialer:       dialer,
-		rng:          rand.New(rand.NewSource(seed)),
+		jit:          newJitterSource(seed),
 		sleep:        time.Sleep,
 		timeoutCtr:   opts.Timeouts,
 		retryCtr:     opts.Retries,
@@ -1064,21 +1065,11 @@ func (c *QueryClient) redialLocked() error {
 }
 
 // backoff returns the jittered exponential backoff before retry attempt n
-// (n >= 1): base doubled per retry, capped at backoffMax, jittered
-// uniformly in [d/2, d].
+// (n >= 1): base doubled per retry, capped at backoffMax with a
+// shift clamp so the doubling can never overflow, jittered uniformly in
+// [d/2, d]. See backoffDur.
 func (c *QueryClient) backoff(attempt int) time.Duration {
-	d := c.backoffBase
-	if d <= 0 {
-		return 0
-	}
-	for i := 1; i < attempt && d < c.backoffMax; i++ {
-		d *= 2
-	}
-	if d > c.backoffMax {
-		d = c.backoffMax
-	}
-	half := d / 2
-	return half + time.Duration(c.rng.Int63n(int64(half)+1))
+	return backoffDur(c.backoffBase, c.backoffMax, attempt, c.jit)
 }
 
 // retryable reports whether a round-trip failure may be retried. Transport

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"printqueue/internal/core/control"
+	"printqueue/internal/core/qmonitor"
+	"printqueue/internal/core/timewindow"
+	"printqueue/internal/fleet"
+	"printqueue/internal/flow"
+	"printqueue/internal/groundtruth"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/switchsim"
+)
+
+// ChainRunConfig wires one multi-hop path experiment: a chain of
+// monitored switches, each carrying its own PrintQueue System and
+// ground-truth collector, so cross-switch attribution can be scored
+// against what each hop actually queued.
+type ChainRunConfig struct {
+	// Hops is the path length (>= 1).
+	Hops int
+	// LinkBps is the per-hop line rate; one entry per hop, or a single
+	// entry replicated (an underprovisioned middle hop stages the paper's
+	// cross-switch congestion scenario).
+	LinkBps []uint64
+	// BufferCells caps each hop's queue.
+	BufferCells int
+	// LinkDelayNs is the inter-hop propagation delay.
+	LinkDelayNs uint64
+	TW          timewindow.Config
+	QM          qmonitor.Config
+	// MaxCheckpoints bounds each hop's hot checkpoint history (0 =
+	// unlimited).
+	MaxCheckpoints int
+}
+
+// ChainRun is an executed multi-hop experiment: per hop, the monitored
+// switch, its PrintQueue System, and its ground truth.
+type ChainRun struct {
+	Chain *switchsim.Chain
+	Sys   []*control.System
+	GT    []*groundtruth.Collector
+	Port  int
+}
+
+// Close releases every hop's System.
+func (r *ChainRun) Close() {
+	for _, s := range r.Sys {
+		s.Close()
+	}
+}
+
+// ExecuteChain replays a packet schedule down a monitored chain, with
+// optional hop-local cross-traffic (inject[k] enters the path at hop k),
+// then finalizes every hop's System. All packets must target one port.
+func ExecuteChain(pkts []pktrec.Packet, inject [][]pktrec.Packet, cfg ChainRunConfig) (*ChainRun, error) {
+	if len(pkts) == 0 {
+		return nil, fmt.Errorf("experiments: empty packet schedule")
+	}
+	if cfg.Hops < 1 {
+		return nil, fmt.Errorf("experiments: chain needs at least one hop")
+	}
+	if len(cfg.LinkBps) != 1 && len(cfg.LinkBps) != cfg.Hops {
+		return nil, fmt.Errorf("experiments: %d link rates for %d hops", len(cfg.LinkBps), cfg.Hops)
+	}
+	port := pkts[0].Port
+	perHop := make([]switchsim.PortConfig, cfg.Hops)
+	for k := range perHop {
+		bps := cfg.LinkBps[0]
+		if len(cfg.LinkBps) == cfg.Hops {
+			bps = cfg.LinkBps[k]
+		}
+		perHop[k] = switchsim.PortConfig{LinkBps: bps, BufferCells: cfg.BufferCells}
+	}
+	chain, err := switchsim.NewChain(switchsim.ChainConfig{
+		Hops:        cfg.Hops,
+		Ports:       port + 1,
+		PerHop:      perHop,
+		LinkDelayNs: cfg.LinkDelayNs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := &ChainRun{Chain: chain, Port: port}
+	for k := 0; k < cfg.Hops; k++ {
+		sys, err := control.New(control.Config{
+			TW:             cfg.TW,
+			QM:             cfg.QM,
+			Ports:          []int{port},
+			MaxCheckpoints: cfg.MaxCheckpoints,
+		})
+		if err != nil {
+			run.Close()
+			return nil, err
+		}
+		gt := groundtruth.NewCollector()
+		p := chain.Switch(k).Port(port)
+		p.AddEgressHook(gt)
+		p.AddEgressHook(switchsim.EgressFunc(sys.OnDequeue))
+		run.Sys = append(run.Sys, sys)
+		run.GT = append(run.GT, gt)
+	}
+	chain.Run(pkts, inject)
+	for k := 0; k < cfg.Hops; k++ {
+		run.Sys[k].Finalize(chain.Switch(k).Port(port).Now() + 1)
+	}
+	return run, nil
+}
+
+// AttributionScore grades one hop of a path diagnosis against that hop's
+// ground truth.
+type AttributionScore struct {
+	Hop int
+	// Precision: fraction of reported culprits that are in the hop's
+	// ground-truth top-k; Recall: fraction of the ground-truth top-k the
+	// report recovered.
+	Precision, Recall float64
+	// Reported and Truth are the compared set sizes.
+	Reported, Truth int
+	// Err carries the hop's query failure, if any (scores are zero).
+	Err error
+}
+
+// ScoreChainAttribution compares a fleet path diagnosis against the
+// chain's per-hop ground truth over the diagnosis interval: hop i's
+// reported culprits versus the flows ground truth ranks heaviest through
+// that hop. Failed hops score zero with their error attached.
+func ScoreChainAttribution(run *ChainRun, d *fleet.PathDiagnosis, k int) []AttributionScore {
+	out := make([]AttributionScore, len(d.Hops))
+	for i := range d.Hops {
+		hd := &d.Hops[i]
+		out[i] = AttributionScore{Hop: hd.Hop, Err: hd.Err}
+		if hd.Err != nil || i >= len(run.GT) {
+			continue
+		}
+		truth := run.GT[i].CountsInInterval(d.Start, d.End).TopK(k)
+		truthSet := make(map[flow.Key]bool, len(truth))
+		for _, e := range truth {
+			truthSet[e.Flow] = true
+		}
+		hits := 0
+		for _, cu := range hd.Culprits {
+			if truthSet[cu.Flow] {
+				hits++
+			}
+		}
+		out[i].Reported = len(hd.Culprits)
+		out[i].Truth = len(truth)
+		if out[i].Reported > 0 {
+			out[i].Precision = float64(hits) / float64(out[i].Reported)
+		}
+		if out[i].Truth > 0 {
+			out[i].Recall = float64(hits) / float64(out[i].Truth)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Hop < out[b].Hop })
+	return out
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"printqueue/internal/core/control"
+	"printqueue/internal/core/qmonitor"
+	"printqueue/internal/core/timewindow"
+	"printqueue/internal/fleet"
+	"printqueue/internal/flow"
+	"printqueue/internal/pktrec"
+)
+
+func chainKey(n byte) flow.Key {
+	return flow.Key{SrcIP: [4]byte{10, 0, 0, n}, DstIP: [4]byte{10, 0, 1, 1}, SrcPort: 5, DstPort: 80, Proto: flow.ProtoTCP}
+}
+
+// chainSchedule interleaves a heavy culprit flow with a victim flow on
+// port 0: spacing below the service time builds standing queues at every
+// hop.
+func chainSchedule() []pktrec.Packet {
+	var pkts []pktrec.Packet
+	var ts uint64
+	for i := 0; i < 250; i++ {
+		ts += 500
+		f := chainKey(2) // heavy: 4 of 5 packets
+		if i%5 == 0 {
+			f = chainKey(1) // victim
+		}
+		pkts = append(pkts, pktrec.Packet{Flow: f, Bytes: 800, Arrival: ts, Port: 0})
+	}
+	return pkts
+}
+
+// crossSchedule is hop-local traffic that merges into the path at one hop
+// only — the cross-switch congestion the path diagnosis must localize.
+func crossSchedule() []pktrec.Packet {
+	var pkts []pktrec.Packet
+	var ts uint64 = 2000
+	for i := 0; i < 150; i++ {
+		ts += 600
+		pkts = append(pkts, pktrec.Packet{Flow: chainKey(9), Bytes: 800, Arrival: ts, Port: 0})
+	}
+	return pkts
+}
+
+func chainRunConfig(hops int) ChainRunConfig {
+	return ChainRunConfig{
+		Hops:        hops,
+		LinkBps:     []uint64{1e9},
+		LinkDelayNs: 1000,
+		TW:          timewindow.Config{M0: 3, K: 6, Alpha: 1, T: 3, MinPktTxDelayNs: 10},
+		QM:          qmonitor.Config{MaxDepthCells: 4096, GranuleCells: 4},
+	}
+}
+
+// serveChain exposes every hop's System over TCP and registers the hops
+// with a fresh collector, in path order.
+func serveChain(t *testing.T, run *ChainRun) (*fleet.Collector, []fleet.HopRef) {
+	t.Helper()
+	c := fleet.New(fleet.Options{})
+	t.Cleanup(func() { c.Close() })
+	hops := make([]fleet.HopRef, len(run.Sys))
+	for k, sys := range run.Sys {
+		qs := control.NewQueryServer(sys)
+		qs.Start(2)
+		t.Cleanup(qs.Stop)
+		srv, err := control.ServeQueries("127.0.0.1:0", qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		id := fmt.Sprintf("sw%d", k)
+		if err := c.Register(fleet.SwitchInfo{ID: id, Hop: k, Addr: srv.Addr().String()}); err != nil {
+			t.Fatal(err)
+		}
+		hops[k] = fleet.HopRef{SwitchID: id, Port: run.Port}
+	}
+	return c, hops
+}
+
+// chainHorizon returns an interval end past every hop's local clock.
+func chainHorizon(run *ChainRun) uint64 {
+	var h uint64
+	for k := range run.Sys {
+		if now := run.Chain.Switch(k).Port(run.Port).Now(); now > h {
+			h = now
+		}
+	}
+	return h + 1
+}
+
+// TestFleetChainAcceptance is the PR's acceptance scenario: a 3-hop
+// simulated path with hop-local cross-traffic at the middle hop. The
+// fleet query must return a per-hop culprit report whose per-hop counts
+// are bit-identical to querying each System directly, and the diagnosis
+// must localize the cross-traffic culprit to the hops it actually
+// traversed.
+func TestFleetChainAcceptance(t *testing.T) {
+	run, err := ExecuteChain(chainSchedule(), [][]pktrec.Packet{1: crossSchedule()}, chainRunConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(run.Close)
+	for k := range run.GT {
+		if run.GT[k].Len() == 0 {
+			t.Fatalf("hop %d saw no traffic", k)
+		}
+	}
+	c, hops := serveChain(t, run)
+	horizon := chainHorizon(run)
+
+	// Bit-identity: each hop's fan-out counts equal the hop's own System
+	// queried directly, flow for flow, with exact float equality.
+	results := c.QueryPath(hops, 0, horizon)
+	if len(results) != 3 {
+		t.Fatalf("got %d hop results, want 3", len(results))
+	}
+	for k, res := range results {
+		if res.Err != nil {
+			t.Fatalf("hop %d: %v", k, res.Err)
+		}
+		direct, err := run.Sys[k].QueryInterval(run.Port, 0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[string]float64, len(direct))
+		for f, n := range direct {
+			want[f.String()] = n
+		}
+		if !reflect.DeepEqual(res.Counts, want) {
+			t.Fatalf("hop %d: fleet counts diverge from direct query\nfleet:  %v\ndirect: %v", k, res.Counts, want)
+		}
+		if len(res.Counts) == 0 {
+			t.Fatalf("hop %d answered with no counts", k)
+		}
+	}
+
+	// Path diagnosis: ranked culprits per hop, correlated with ground
+	// truth.
+	d, err := c.Diagnose("victim", hops, 0, horizon, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Partial {
+		t.Fatalf("clean chain produced a partial diagnosis: %v", d.FailedHops())
+	}
+	culpritsAt := func(k int) map[flow.Key]bool {
+		set := map[flow.Key]bool{}
+		for _, cu := range d.Hops[k].Culprits {
+			set[cu.Flow] = true
+		}
+		return set
+	}
+	for k := 0; k < 3; k++ {
+		if !culpritsAt(k)[chainKey(2)] {
+			t.Errorf("hop %d: heavy path flow missing from culprits %v", k, d.Hops[k].Culprits)
+		}
+	}
+	// The cross-traffic flow enters at hop 1: it must be ranked there and
+	// downstream, and must NOT appear upstream — that asymmetry is the
+	// cross-switch localization the fleet plane exists for.
+	if culpritsAt(0)[chainKey(9)] {
+		t.Errorf("hop 0 ranked the cross-traffic flow it never carried: %v", d.Hops[0].Culprits)
+	}
+	for _, k := range []int{1, 2} {
+		if !culpritsAt(k)[chainKey(9)] {
+			t.Errorf("hop %d: cross-traffic culprit missing: %v", k, d.Hops[k].Culprits)
+		}
+	}
+
+	// Scored against per-hop ground truth, attribution must be strong on
+	// this deterministic workload.
+	scores := ScoreChainAttribution(run, d, 3)
+	for _, s := range scores {
+		if s.Err != nil {
+			t.Fatalf("hop %d scored with error: %v", s.Hop, s.Err)
+		}
+		if s.Reported == 0 || s.Truth == 0 {
+			t.Fatalf("hop %d: degenerate score %+v", s.Hop, s)
+		}
+		if s.Precision < 0.5 || s.Recall < 0.5 {
+			t.Errorf("hop %d: precision %.2f recall %.2f below 0.5", s.Hop, s.Precision, s.Recall)
+		}
+		t.Logf("hop %d: precision %.2f recall %.2f (reported %d, truth %d)",
+			s.Hop, s.Precision, s.Recall, s.Reported, s.Truth)
+	}
+}
+
+// TestFleetChainPartialAcceptance tears one hop down after registration:
+// the diagnosis must degrade to the surviving hops, whose counts stay
+// bit-identical to their direct queries.
+func TestFleetChainPartialAcceptance(t *testing.T) {
+	run, err := ExecuteChain(chainSchedule(), nil, chainRunConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(run.Close)
+	c, hops := serveChain(t, run)
+	horizon := chainHorizon(run)
+	// Replace the middle hop with a dead address: registration must fail,
+	// and querying the still-registered id after unregistering must yield
+	// an in-place per-hop error.
+	if err := c.Unregister("sw1"); err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.Diagnose("victim", hops, 0, horizon, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Partial {
+		t.Fatal("diagnosis with a missing hop not marked partial")
+	}
+	if got := d.FailedHops(); len(got) != 1 || got[0] != "sw1" {
+		t.Fatalf("failed hops = %v, want [sw1]", got)
+	}
+	for _, k := range []int{0, 2} {
+		hd := d.Hops[k]
+		if hd.Err != nil || len(hd.Culprits) == 0 {
+			t.Fatalf("surviving hop %d degraded: %+v", k, hd)
+		}
+		direct, err := run.Sys[k].QueryInterval(run.Port, 0, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[string]float64, len(direct))
+		for f, n := range direct {
+			want[f.String()] = n
+		}
+		if !reflect.DeepEqual(hd.Counts, want) {
+			t.Fatalf("surviving hop %d: counts diverge from direct query", k)
+		}
+	}
+}

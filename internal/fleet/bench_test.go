@@ -1,0 +1,164 @@
+package fleet
+
+// BenchmarkFleetQuery measures a collector fan-out over N=8 simulated
+// switches under an injected per-leg RTT. Loopback has ~0 RTT, so without
+// the delay every fan-out degenerates to a CPU benchmark; with it the
+// figure of merit is how close one fan-out's wall time stays to a single
+// hop's round trip (the legs overlap under the worker pool) rather than
+// the sum over hops.
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"printqueue/internal/core/control"
+	"printqueue/internal/pktrec"
+)
+
+func benchPkt(hop, i int, ts uint64) *pktrec.Packet {
+	return &pktrec.Packet{
+		Flow: fleetKey(byte(hop), byte(i%3)),
+		Port: 0,
+		Meta: pktrec.Metadata{EnqTimestamp: ts - 40, DeqTimedelta: 40, EnqQdepth: 8 + i%9},
+	}
+}
+
+// benchRTT is the injected round trip per leg (one-way delay RTT/2 on
+// client writes only, so replies return after ~RTT/2; the asymmetry is
+// identical across legs and irrelevant to the overlap being measured).
+const benchRTT = 2 * time.Millisecond
+
+// delayConn defers writes by a fixed propagation delay: Write returns
+// immediately and a deliverer goroutine forwards chunks when due, so
+// concurrent in-flight writes overlap rather than serialize.
+type delayConn struct {
+	net.Conn
+	d      time.Duration
+	q      chan delayChunk
+	closed chan struct{}
+	once   sync.Once
+
+	emu  sync.Mutex
+	werr error
+}
+
+type delayChunk struct {
+	due time.Time
+	p   []byte
+}
+
+func newDelayConn(c net.Conn, d time.Duration) *delayConn {
+	dc := &delayConn{Conn: c, d: d, q: make(chan delayChunk, 4096), closed: make(chan struct{})}
+	go dc.deliver()
+	return dc
+}
+
+func (dc *delayConn) deliver() {
+	for {
+		select {
+		case <-dc.closed:
+			return
+		case ch := <-dc.q:
+			if wait := time.Until(ch.due); wait > 0 {
+				time.Sleep(wait)
+			}
+			if _, err := dc.Conn.Write(ch.p); err != nil {
+				dc.emu.Lock()
+				dc.werr = err
+				dc.emu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+func (dc *delayConn) Write(p []byte) (int, error) {
+	dc.emu.Lock()
+	err := dc.werr
+	dc.emu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	select {
+	case dc.q <- delayChunk{due: time.Now().Add(dc.d), p: buf}:
+		return len(p), nil
+	case <-dc.closed:
+		return 0, net.ErrClosed
+	}
+}
+
+func (dc *delayConn) Close() error {
+	dc.once.Do(func() { close(dc.closed) })
+	return dc.Conn.Close()
+}
+
+func delayDialer(d time.Duration) func(string, time.Duration) (net.Conn, error) {
+	return func(addr string, timeout time.Duration) (net.Conn, error) {
+		c, err := net.DialTimeout("tcp", addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return newDelayConn(c, d), nil
+	}
+}
+
+// benchSwitch mirrors the test fixture without testing.T cleanup plumbing.
+func benchSwitch(b *testing.B, hop int) (addr string, shutdown func()) {
+	b.Helper()
+	sys, err := control.New(fleetConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ts uint64 = 1000
+	for i := 0; i < 60; i++ {
+		ts += 10
+		sys.OnDequeue(benchPkt(hop, i, ts))
+	}
+	sys.Finalize(ts + 1)
+	qs := control.NewQueryServer(sys)
+	qs.Start(4)
+	srv, err := control.ServeQueries("127.0.0.1:0", qs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv.Addr().String(), func() {
+		srv.Close()
+		qs.Stop()
+		sys.Close()
+	}
+}
+
+func BenchmarkFleetQuery(b *testing.B) {
+	const nSwitches = 8
+	c := New(Options{
+		Workers:    nSwitches,
+		HopTimeout: 10 * time.Second,
+		Dial:       control.DialOptions{Dialer: delayDialer(benchRTT / 2)},
+	})
+	defer c.Close()
+	hops := make([]HopRef, nSwitches)
+	for i := 0; i < nSwitches; i++ {
+		addr, shutdown := benchSwitch(b, i)
+		defer shutdown()
+		if err := c.Register(SwitchInfo{ID: fmt.Sprintf("sw%d", i), Hop: i, Addr: addr}); err != nil {
+			b.Fatal(err)
+		}
+		hops[i] = HopRef{SwitchID: fmt.Sprintf("sw%d", i), Port: 0}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := c.QueryPath(hops, 1000, 1700)
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatalf("hop %s: %v", res.SwitchID, res.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchRTT.Nanoseconds()), "rtt-ns/leg")
+}

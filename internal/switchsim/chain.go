@@ -1,0 +1,112 @@
+package switchsim
+
+import (
+	"fmt"
+	"sort"
+
+	"printqueue/internal/pktrec"
+)
+
+// ChainConfig describes a linear multi-switch topology: Hops switches,
+// each with Ports egress ports, where everything hop k transmits on port
+// p re-arrives at hop k+1 on port p after LinkDelayNs. This is the
+// paper's diagnosis setting — one packet traverses several monitored
+// switches, and a path-level query must correlate per-switch answers.
+type ChainConfig struct {
+	// Hops is the path length in switches (>= 1).
+	Hops int
+	// Ports per switch (>= 1). A forwarded packet keeps its port number.
+	Ports int
+	// Port is the per-hop port configuration.
+	Port PortConfig
+	// PerHop, when non-empty, overrides Port hop by hop (len == Hops) —
+	// e.g. an underprovisioned middle hop to stage cross-switch
+	// congestion.
+	PerHop []PortConfig
+	// LinkDelayNs is the propagation delay between adjacent hops.
+	LinkDelayNs uint64
+}
+
+// Chain is a linear cascade of switches. Forwarding is buffered, not
+// recursive: hop k runs to completion (so its per-port arrival order is
+// established), then its egressed packets — re-timestamped to their
+// arrival at hop k+1 and with fresh metadata — are sorted and injected
+// into hop k+1. Buffering preserves the per-port non-decreasing-arrival
+// invariant that direct hook-to-Enqueue chaining would violate, and lets
+// per-hop cross-traffic merge into the path between hops.
+type Chain struct {
+	cfg ChainConfig
+	sws []*Switch
+	// fwd[k] accumulates packets egressing hop k, already rewritten for
+	// hop k+1. Egress hooks must not retain their argument, so packets
+	// are copied by value at the hook.
+	fwd [][]pktrec.Packet
+}
+
+// NewChain builds the cascade and wires the forwarding hooks.
+func NewChain(cfg ChainConfig) (*Chain, error) {
+	if cfg.Hops < 1 {
+		return nil, fmt.Errorf("switchsim: chain needs at least one hop, got %d", cfg.Hops)
+	}
+	if cfg.Ports < 1 {
+		return nil, fmt.Errorf("switchsim: chain needs at least one port, got %d", cfg.Ports)
+	}
+	if len(cfg.PerHop) != 0 && len(cfg.PerHop) != cfg.Hops {
+		return nil, fmt.Errorf("switchsim: %d per-hop configs for %d hops", len(cfg.PerHop), cfg.Hops)
+	}
+	c := &Chain{cfg: cfg, sws: make([]*Switch, cfg.Hops), fwd: make([][]pktrec.Packet, cfg.Hops)}
+	for k := 0; k < cfg.Hops; k++ {
+		pc := cfg.Port
+		if len(cfg.PerHop) != 0 {
+			pc = cfg.PerHop[k]
+		}
+		sw, err := NewSwitch(cfg.Ports, pc)
+		if err != nil {
+			return nil, fmt.Errorf("switchsim: chain hop %d: %w", k, err)
+		}
+		c.sws[k] = sw
+		if k == cfg.Hops-1 {
+			continue // the last hop egresses out of the monitored path
+		}
+		hop := k
+		for p := 0; p < cfg.Ports; p++ {
+			sw.Port(p).AddEgressHook(EgressFunc(func(pkt *pktrec.Packet) {
+				np := *pkt // copy: hooks must not retain the packet
+				np.Arrival = pkt.Meta.DeqTimestamp() + c.cfg.LinkDelayNs
+				np.Meta = pktrec.Metadata{} // next hop stamps fresh telemetry
+				c.fwd[hop] = append(c.fwd[hop], np)
+			}))
+		}
+	}
+	return c, nil
+}
+
+// Hops returns the path length.
+func (c *Chain) Hops() int { return len(c.sws) }
+
+// Switch returns hop k's switch, e.g. to attach monitors before Run.
+func (c *Chain) Switch(k int) *Switch { return c.sws[k] }
+
+// Run replays pkts through the cascade: the schedule enters hop 0, each
+// hop is drained completely, and its egress (plus hop-local cross-traffic
+// from inject[k], when provided) feeds the next hop. Packets are taken by
+// value — Run owns its copies, so callers can reuse the inputs. Dropped
+// packets leave the path at the hop that dropped them. A Chain is
+// single-shot: monitors accumulate one run's worth of state.
+func (c *Chain) Run(pkts []pktrec.Packet, inject [][]pktrec.Packet) {
+	cur := append([]pktrec.Packet(nil), pkts...)
+	for k := range c.sws {
+		if k < len(inject) {
+			cur = append(cur, inject[k]...)
+		}
+		// Per-port arrivals must be non-decreasing; a global stable sort
+		// by arrival establishes that and keeps ties deterministic.
+		sort.SliceStable(cur, func(i, j int) bool { return cur[i].Arrival < cur[j].Arrival })
+		c.fwd[k] = c.fwd[k][:0]
+		for i := range cur {
+			c.sws[k].Inject(&cur[i])
+		}
+		c.sws[k].Flush()
+		cur = append([]pktrec.Packet(nil), c.fwd[k]...)
+	}
+}

@@ -1,0 +1,184 @@
+package switchsim
+
+import (
+	"testing"
+
+	"printqueue/internal/pktrec"
+)
+
+// hopCollect records dequeues at every hop of a chain.
+func attachCollectors(t *testing.T, c *Chain, port int) []*collect {
+	t.Helper()
+	out := make([]*collect, c.Hops())
+	for k := 0; k < c.Hops(); k++ {
+		out[k] = &collect{}
+		c.Switch(k).Port(port).AddEgressHook(out[k])
+	}
+	return out
+}
+
+// TestChainForwarding: every packet that survives hop k arrives at hop
+// k+1 exactly LinkDelayNs after its dequeue, with fresh metadata, on the
+// same port.
+func TestChainForwarding(t *testing.T) {
+	const delay = 500
+	c, err := NewChain(ChainConfig{
+		Hops:        3,
+		Ports:       1,
+		Port:        PortConfig{LinkBps: 1e9},
+		LinkDelayNs: delay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := attachCollectors(t, c, 0)
+	pkts := []pktrec.Packet{
+		*pkt(1, 125, 0),
+		*pkt(2, 125, 100),
+		*pkt(3, 125, 2500),
+	}
+	c.Run(pkts, nil)
+	for k := 0; k < 3; k++ {
+		if got := len(cols[k].got); got != 3 {
+			t.Fatalf("hop %d dequeued %d packets, want 3", k, got)
+		}
+	}
+	// Hop k+1 arrivals are hop k dequeues plus the link delay.
+	for k := 0; k < 2; k++ {
+		for i, up := range cols[k].got {
+			down := cols[k+1].got[i]
+			if want := up.Meta.DeqTimestamp() + delay; down.Meta.EnqTimestamp != want {
+				t.Fatalf("hop %d pkt %d: downstream enqueue at %d, want %d", k, i, down.Meta.EnqTimestamp, want)
+			}
+			if down.Flow != up.Flow || down.Bytes != up.Bytes || down.Port != up.Port {
+				t.Fatalf("hop %d pkt %d mutated in flight: %+v vs %+v", k, i, down, up)
+			}
+		}
+	}
+	// Inputs were taken by value: the caller's slice keeps its original
+	// (un-stamped) metadata.
+	if pkts[0].Meta.DeqTimedelta != 0 && pkts[0].Meta.EnqTimestamp != 0 {
+		t.Fatalf("Run mutated the caller's packets: %+v", pkts[0].Meta)
+	}
+}
+
+// TestChainCrossTraffic: inject[k] merges hop-local traffic into the path
+// at hop k, and it does not appear upstream.
+func TestChainCrossTraffic(t *testing.T) {
+	c, err := NewChain(ChainConfig{
+		Hops:        3,
+		Ports:       1,
+		Port:        PortConfig{LinkBps: 1e9},
+		LinkDelayNs: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := attachCollectors(t, c, 0)
+	path := []pktrec.Packet{*pkt(1, 125, 0)}
+	cross := [][]pktrec.Packet{
+		1: {*pkt(9, 125, 50), *pkt(9, 125, 60)}, // enters at the middle hop
+	}
+	c.Run(path, cross)
+	if len(cols[0].got) != 1 {
+		t.Fatalf("hop 0 saw %d packets, want only the path packet", len(cols[0].got))
+	}
+	if len(cols[1].got) != 3 {
+		t.Fatalf("hop 1 saw %d packets, want path + 2 cross", len(cols[1].got))
+	}
+	if len(cols[2].got) != 3 {
+		t.Fatalf("hop 2 saw %d packets, want everything forwarded", len(cols[2].got))
+	}
+	crossSeen := 0
+	for _, p := range cols[1].got {
+		if p.Flow == fkey(9) {
+			crossSeen++
+		}
+	}
+	if crossSeen != 2 {
+		t.Fatalf("hop 1 saw %d cross-traffic packets, want 2", crossSeen)
+	}
+}
+
+// TestChainPerHopConfig: a drop at an underprovisioned middle hop removes
+// the packet from the rest of the path but not from earlier hops.
+func TestChainPerHopConfig(t *testing.T) {
+	wide := PortConfig{LinkBps: 1e9}
+	// 10x slower and one packet deep: hop 0 spaces the burst by its own
+	// serialization, but the narrow hop still can't drain fast enough.
+	narrow := PortConfig{LinkBps: 1e8, BufferCells: pktrec.Cells(125)}
+	c, err := NewChain(ChainConfig{
+		Hops:        3,
+		Ports:       1,
+		PerHop:      []PortConfig{wide, narrow, wide},
+		LinkDelayNs: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := attachCollectors(t, c, 0)
+	// A burst that fits the wide hops but overflows the narrow one: the
+	// narrow hop holds one packet while another transmits, so the third
+	// is tail-dropped.
+	pkts := []pktrec.Packet{
+		*pkt(1, 125, 0),
+		*pkt(2, 125, 1),
+		*pkt(3, 125, 2),
+	}
+	c.Run(pkts, nil)
+	if len(cols[0].got) != 3 {
+		t.Fatalf("hop 0 dequeued %d, want 3", len(cols[0].got))
+	}
+	if len(cols[1].got) >= 3 {
+		t.Fatalf("narrow hop dequeued %d, want a tail drop", len(cols[1].got))
+	}
+	if len(cols[2].got) != len(cols[1].got) {
+		t.Fatalf("hop 2 dequeued %d, want the narrow hop's survivors (%d)", len(cols[2].got), len(cols[1].got))
+	}
+	if drops := c.Switch(1).Port(0).Stats().Dropped; drops == 0 {
+		t.Fatal("narrow hop recorded no drops")
+	}
+}
+
+// TestChainMultiPort: packets keep their port across hops and ports stay
+// independent.
+func TestChainMultiPort(t *testing.T) {
+	c, err := NewChain(ChainConfig{
+		Hops:        2,
+		Ports:       2,
+		Port:        PortConfig{LinkBps: 1e9},
+		LinkDelayNs: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col0, col1 := &collect{}, &collect{}
+	c.Switch(1).Port(0).AddEgressHook(col0)
+	c.Switch(1).Port(1).AddEgressHook(col1)
+	p0 := *pkt(1, 125, 0)
+	p1 := *pkt(2, 125, 0)
+	p1.Port = 1
+	c.Run([]pktrec.Packet{p0, p1}, nil)
+	if len(col0.got) != 1 || col0.got[0].Flow != fkey(1) {
+		t.Fatalf("port 0 at hop 1: %+v", col0.got)
+	}
+	if len(col1.got) != 1 || col1.got[0].Flow != fkey(2) {
+		t.Fatalf("port 1 at hop 1: %+v", col1.got)
+	}
+}
+
+// TestChainConfigValidation rejects malformed topologies.
+func TestChainConfigValidation(t *testing.T) {
+	if _, err := NewChain(ChainConfig{Hops: 0, Ports: 1, Port: PortConfig{LinkBps: 1e9}}); err == nil {
+		t.Fatal("zero hops accepted")
+	}
+	if _, err := NewChain(ChainConfig{Hops: 1, Ports: 0, Port: PortConfig{LinkBps: 1e9}}); err == nil {
+		t.Fatal("zero ports accepted")
+	}
+	if _, err := NewChain(ChainConfig{Hops: 2, Ports: 1, PerHop: []PortConfig{{LinkBps: 1e9}}}); err == nil {
+		t.Fatal("mismatched per-hop config accepted")
+	}
+	if _, err := NewChain(ChainConfig{Hops: 1, Ports: 1}); err == nil {
+		t.Fatal("zero link rate accepted")
+	}
+}
