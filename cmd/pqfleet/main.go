@@ -17,12 +17,25 @@
 // the middle hop, serves each hop's System over loopback, and prints the
 // resulting path diagnosis plus its precision/recall against the per-hop
 // ground truth.
+//
+// -mirror turns on checkpoint streaming: the collector subscribes to every
+// hop's checkpoint stream and keeps a local histstore replica per switch
+// (under -mirror-dir), so covered intervals are answered at local speed
+// with no per-query round trip. Answers that extend past a replica's
+// coverage are served only within -mirror-staleness nanoseconds of lag and
+// are explicitly annotated "[mirror, stale +Nns]" in the report; with the
+// strict default (0) they fall back to the network fan-out. A hop whose
+// switch is unreachable is still answered from its replica, always
+// annotated stale. Combined with -demo, the demo chain runs with durable
+// per-hop histories and prints the same diagnosis both over the network
+// and from the warmed mirrors.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
@@ -62,10 +75,21 @@ func main() {
 	workers := flag.Int("workers", fleet.DefaultWorkers, "max concurrent hop queries")
 	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "per-round-trip I/O deadline")
 	demo := flag.Bool("demo", false, "run the in-process 3-hop chain demo instead of dialing real switches")
+	mirror := flag.Bool("mirror", false, "subscribe to every hop's checkpoint stream and answer covered intervals from local replicas")
+	mirrorDir := flag.String("mirror-dir", "", "root directory for the per-switch replica stores (default: a fresh temp dir)")
+	mirrorStaleness := flag.Uint64("mirror-staleness", 0, "max ns a query may reach past a replica's coverage and still be served locally, annotated stale; 0 = strict")
 	flag.Parse()
 
+	if *mirror && *mirrorDir == "" {
+		dir, err := os.MkdirTemp("", "pqfleet-mirror-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		*mirrorDir = dir
+	}
 	if *demo {
-		if err := runDemo(*topk); err != nil {
+		if err := runDemo(*topk, *mirror, *mirrorDir, *mirrorStaleness); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -77,9 +101,12 @@ func main() {
 		log.Fatalf("empty interval [%d, %d)", *start, *end)
 	}
 	c := fleet.New(fleet.Options{
-		Workers:    *workers,
-		HopTimeout: *timeout,
-		Dial:       control.DialOptions{Timeout: *dialTimeout},
+		Workers:           *workers,
+		HopTimeout:        *timeout,
+		Dial:              control.DialOptions{Timeout: *dialTimeout},
+		Mirror:            *mirror,
+		MirrorDir:         *mirrorDir,
+		MirrorStalenessNs: *mirrorStaleness,
 	})
 	defer c.Close()
 	refs := make([]fleet.HopRef, 0, len(hops))
@@ -103,7 +130,15 @@ func printDiagnosis(d *fleet.PathDiagnosis) {
 	}
 	fmt.Println()
 	for _, hd := range d.Hops {
-		fmt.Printf("hop %d  %-8s port %d  %v\n", hd.Hop, hd.SwitchID, hd.Port, hd.Latency.Round(time.Microsecond))
+		src := ""
+		if hd.Mirrored {
+			src = "  [mirror"
+			if hd.Stale {
+				src += fmt.Sprintf(", stale +%dns", hd.LagNs)
+			}
+			src += "]"
+		}
+		fmt.Printf("hop %d  %-8s port %d  %v%s\n", hd.Hop, hd.SwitchID, hd.Port, hd.Latency.Round(time.Microsecond), src)
 		if hd.Err != nil {
 			fmt.Printf("    ERROR: %v\n", hd.Err)
 			continue
@@ -121,7 +156,11 @@ func printDiagnosis(d *fleet.PathDiagnosis) {
 // runDemo stages the cross-switch scenario end to end in one process:
 // a 3-hop chain, heavy path traffic, cross-traffic entering at hop 1,
 // each hop served over loopback, one fleet diagnosis over the result.
-func runDemo(topk int) error {
+// With mirror set, every hop additionally keeps a durable checkpoint
+// history, a second mirror-mode collector warms its replicas from the
+// checkpoint streams, and the same diagnosis is printed again as answered
+// from the mirrors.
+func runDemo(topk int, mirror bool, mirrorDir string, staleness uint64) error {
 	var path, cross []pktrec.Packet
 	var ts uint64
 	for i := 0; i < 250; i++ {
@@ -137,21 +176,37 @@ func runDemo(topk int) error {
 		ts += 600
 		cross = append(cross, pktrec.Packet{Flow: demoKey(9), Bytes: 800, Arrival: ts, Port: 0})
 	}
-	run, err := experiments.ExecuteChain(path, [][]pktrec.Packet{1: cross}, experiments.ChainRunConfig{
+	chainCfg := experiments.ChainRunConfig{
 		Hops:        3,
 		LinkBps:     []uint64{1e9},
 		LinkDelayNs: 1000,
 		TW:          timewindow.Config{M0: 3, K: 6, Alpha: 1, T: 3, MinPktTxDelayNs: 10},
 		QM:          qmonitor.Config{MaxDepthCells: 4096, GranuleCells: 4},
-	})
+	}
+	if mirror {
+		histDir, err := os.MkdirTemp("", "pqfleet-demo-hist-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(histDir)
+		chainCfg.HistDir = histDir
+	}
+	run, err := experiments.ExecuteChain(path, [][]pktrec.Packet{1: cross}, chainCfg)
 	if err != nil {
 		return err
 	}
 	defer run.Close()
 	c := fleet.New(fleet.Options{})
 	defer c.Close()
+	var mc *fleet.Collector
+	if mirror {
+		mc = fleet.New(fleet.Options{Mirror: true, MirrorDir: mirrorDir, MirrorStalenessNs: staleness})
+		defer mc.Close()
+	}
 	refs := make([]fleet.HopRef, len(run.Sys))
-	var horizon uint64
+	// minFreeze is the largest interval end every hop's mirror covers with
+	// zero lag: the smallest finalize freeze across hops.
+	minFreeze := ^uint64(0)
 	for k, sys := range run.Sys {
 		qs := control.NewQueryServer(sys)
 		qs.Start(2)
@@ -162,15 +217,21 @@ func runDemo(topk int) error {
 		}
 		defer srv.Close()
 		id := fmt.Sprintf("sw%d", k)
-		if err := c.Register(fleet.SwitchInfo{ID: id, Hop: k, Addr: srv.Addr().String()}); err != nil {
+		info := fleet.SwitchInfo{ID: id, Hop: k, Addr: srv.Addr().String()}
+		if err := c.Register(info); err != nil {
 			return err
 		}
+		if mc != nil {
+			if err := mc.Register(info); err != nil {
+				return err
+			}
+		}
 		refs[k] = fleet.HopRef{SwitchID: id, Port: 0}
-		if now := run.Chain.Switch(k).Port(0).Now(); now > horizon {
-			horizon = now
+		if f := run.Chain.Switch(k).Port(0).Now() + 1; f < minFreeze {
+			minFreeze = f
 		}
 	}
-	d, err := c.Diagnose("demo-victim", refs, 0, horizon+1, topk)
+	d, err := c.Diagnose("demo-victim", refs, 0, minFreeze, topk)
 	if err != nil {
 		return err
 	}
@@ -181,6 +242,35 @@ func runDemo(topk int) error {
 		fmt.Printf("hop %d: precision %.2f recall %.2f (reported %d, truth %d)\n",
 			s.Hop, s.Precision, s.Recall, s.Reported, s.Truth)
 	}
+	if mc == nil {
+		return nil
+	}
+	// Wait for the replicas to finish their catch-up replay, observable as
+	// every hop answering Mirrored.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		results := mc.QueryPath(refs, 0, minFreeze)
+		warm := true
+		for _, res := range results {
+			if res.Err != nil || !res.Mirrored {
+				warm = false
+				break
+			}
+		}
+		if warm {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("pqfleet: mirrors never warmed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	md, err := mc.Diagnose("demo-victim", refs, 0, minFreeze, topk)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nsame diagnosis from the warmed mirrors (no per-hop round trips):")
+	printDiagnosis(md)
 	return nil
 }
 

@@ -386,6 +386,10 @@ type System struct {
 	// covering the hot tier plus the cold tier's decode LRU.
 	hist      *histstore.Store
 	histBytes *telemetry.Gauge
+	// stream fans retired checkpoints out to live subscribers (the fleet
+	// collector's mirrors). With no subscriber it costs one atomic load
+	// per retire.
+	stream streamHub
 }
 
 // New builds a System. Register arrays are allocated for r(#ports)
@@ -682,10 +686,37 @@ func (s *System) retireCheckpoint(ps *portState, cp *Checkpoint) {
 		s.histBytes.Add(-evicted.memBytes())
 		evicted.DropFiltered()
 	}
+	streaming := s.stream.active()
 	if s.hist != nil {
+		rec := &histstore.Record{
+			Port:       ps.id,
+			FreezeTime: cp.FreezeTime,
+			PrevFreeze: cp.PrevFreeze,
+			Special:    cp.Special,
+			TW:         cp.TW,
+			QM:         cp.QM,
+		}
 		// Append failures are counted by the store's own error counter; the
 		// hot tier keeps serving, so ingestion never stops on a disk fault.
-		_ = s.hist.Append(&histstore.Record{
+		if streaming {
+			// Publish to subscribers through the append hook so the stream
+			// reuses the bytes the log write already encoded — the encoder
+			// builds a flow dictionary per call, so a second encode would
+			// put allocations back on the snapshotter path.
+			_ = s.hist.AppendWith(rec, func(payload []byte) {
+				s.stream.publish(ps.id, cp.FreezeTime, cp.PrevFreeze, cp.Special, payload)
+			})
+		} else {
+			_ = s.hist.Append(rec)
+		}
+		return
+	}
+	if streaming {
+		// No durable log, but live subscribers: encode solely for the
+		// stream. Catch-up replay is unavailable on such a switch (nothing
+		// to replay from), so gaps heal only as new checkpoints arrive.
+		buf := getBuf()
+		payload, err := histstore.EncodeRecord(buf[:0], &histstore.Record{
 			Port:       ps.id,
 			FreezeTime: cp.FreezeTime,
 			PrevFreeze: cp.PrevFreeze,
@@ -693,6 +724,12 @@ func (s *System) retireCheckpoint(ps *portState, cp *Checkpoint) {
 			TW:         cp.TW,
 			QM:         cp.QM,
 		})
+		if err == nil {
+			s.stream.publish(ps.id, cp.FreezeTime, cp.PrevFreeze, cp.Special, payload)
+			putBuf(payload)
+		} else {
+			putBuf(buf)
+		}
 	}
 }
 

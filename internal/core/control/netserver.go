@@ -413,9 +413,13 @@ func (s *NetServer) handleBinary(conn net.Conn, br *bufio.Reader) {
 	var reqWG sync.WaitGroup
 	var perConn atomic.Int64 // requests in flight on this connection
 	scratch := getBuf()
+	// stopPush unwinds a checkpoint-push goroutine (opSubscribe) when the
+	// reader loop exits, so the drain below can safely close out.
+	stopPush := make(chan struct{})
+	subscribed := false
 loop:
 	for {
-		if s.opts.IdleTimeout > 0 {
+		if s.opts.IdleTimeout > 0 && !subscribed {
 			if err := conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout)); err != nil {
 				break
 			}
@@ -506,13 +510,36 @@ loop:
 			reqWG.Add(1)
 			s.connInflight.Max(perConn.Add(int64(len(qs))))
 			go s.serveBatch(id, qs, tr, spD, out, &reqWG, &perConn)
+		case opSubscribe:
+			since, err := decodeSubscribe(payload)
+			if err != nil || subscribed {
+				s.badRequests.Inc()
+				break loop
+			}
+			subscribed = true
+			// A push stream has no request cadence, so the idle deadline
+			// would kill a healthy but quiet subscription; clear it. The
+			// reader stays blocked as the connection-death detector.
+			conn.SetReadDeadline(time.Time{})
+			// Subscribe to live retires before replaying the log so no
+			// checkpoint falls between the two; the subscriber dedupes the
+			// overlap by freeze time.
+			sub := s.qs.sys.stream.subscribe()
+			reqWG.Add(1)
+			go func() {
+				defer reqWG.Done()
+				defer s.qs.sys.stream.unsubscribe(sub)
+				s.pushCheckpoints(sub, since, out, stopPush)
+			}()
 		default:
 			s.badRequests.Inc()
 			break loop
 		}
 	}
-	// Drain: wait for dispatched requests (their replies flow through out),
-	// then let the writer finish and reclaim its buffers.
+	// Drain: unwind a push goroutine, wait for dispatched requests (their
+	// replies flow through out), then let the writer finish and reclaim
+	// its buffers.
+	close(stopPush)
 	reqWG.Wait()
 	close(out)
 	<-writerDone
@@ -563,6 +590,80 @@ func (s *NetServer) serveBatch(id uint64, qs []BatchQuery, tr *tracing.Trace, sp
 	s.release(int64(len(qs)))
 	perConn.Add(int64(-len(qs)))
 	out <- outFrame{buf: s.encodeBatchReply(id, resps, tr), tr: tr}
+}
+
+// errPushStopped aborts a segment-log replay when the subscriber's
+// connection is unwinding.
+var errPushStopped = errors.New("control: checkpoint push stopped")
+
+// pushCheckpoints drives one checkpoint subscription: replay the segment
+// log for records with FreezeTime > since, then stream live retires from
+// the subscriber's bounded queue, emitting a resync marker whenever
+// backpressure forced drops. Sequence numbers are assigned here, at send
+// time, so replayed and live frames share one monotonic sequence; pushed
+// frames ride the connection's ordinary writer goroutine, interleaving
+// with any query replies on the same connection.
+func (s *NetServer) pushCheckpoints(sub *streamSub, since uint64, out chan<- outFrame, stop <-chan struct{}) {
+	var seq uint64
+	send := func(buf []byte) bool {
+		select {
+		case out <- outFrame{buf: buf}:
+			return true
+		case <-stop:
+			putBuf(buf)
+			return false
+		}
+	}
+	if hist := s.qs.sys.hist; hist != nil {
+		err := hist.ReplaySince(since, func(payload []byte, port int, freezeTime, prevFreeze uint64, special bool) error {
+			seq++
+			flags := pushFlagReplay
+			if special {
+				flags |= pushFlagSpecial
+			}
+			if !send(appendCheckpointFrame(getBuf(), seq, port, freezeTime, prevFreeze, flags, payload)) {
+				return errPushStopped
+			}
+			return nil
+		})
+		if errors.Is(err, errPushStopped) {
+			return
+		}
+		// Any other replay error (disk fault, pruned segment racing a
+		// read): stream live anyway. The subscriber's coverage tracking
+		// keeps its answers sound over the missing span, and a later
+		// resubscribe retries the replay.
+	}
+	for {
+		for {
+			rec, dropped, ok := sub.pop()
+			if dropped > 0 {
+				// Records were evicted under backpressure before rec; tell
+				// the subscriber its view gapped so it never serves the
+				// hole silently.
+				if !send(appendResyncFrame(getBuf(), dropped)) {
+					if ok {
+						putBuf(rec.buf)
+					}
+					return
+				}
+			}
+			if !ok {
+				break
+			}
+			seq++
+			buf := appendCheckpointFrame(getBuf(), seq, rec.port, rec.freezeTime, rec.prevFreeze, rec.flags, rec.buf)
+			putBuf(rec.buf)
+			if !send(buf) {
+				return
+			}
+		}
+		select {
+		case <-sub.wake:
+		case <-stop:
+			return
+		}
+	}
 }
 
 // connWriter is the per-connection writer goroutine for the binary

@@ -273,6 +273,18 @@ func (s *Store) newActiveLocked() error {
 // called off the ingest hot path (by the snapshotter goroutine or, in the
 // synchronous pipeline, under the per-port freeze).
 func (s *Store) Append(rec *Record) error {
+	return s.AppendWith(rec, nil)
+}
+
+// AppendWith is Append with a post-write hook: after the record is framed
+// into the active segment, fn (if non-nil) is invoked — still under the
+// store lock — with the encoded payload. The checkpoint stream publishes
+// through this hook so subscribers reuse the bytes the log write already
+// produced: EncodeRecord builds a per-call flow dictionary, so a second
+// encode for the stream would put an allocation back on the snapshotter
+// path. fn must copy whatever it keeps; the buffer is reused by the next
+// append.
+func (s *Store) AppendWith(rec *Record, fn func(payload []byte)) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -284,6 +296,41 @@ func (s *Store) Append(rec *Record) error {
 		s.appendErrs.Inc()
 		return err
 	}
+	if err := s.appendPayloadLocked(payload, rec.Port, rec.FreezeTime, rec.PrevFreeze, recFlags(rec)); err != nil {
+		return err
+	}
+	s.rawBytes.Add(rec.MemBytes())
+	if fn != nil {
+		fn(payload)
+	}
+	return nil
+}
+
+// AppendEncoded appends an already-encoded record payload under the given
+// indexed metadata, skipping the encode entirely. This is the mirror-side
+// ingest path: the fleet collector receives checkpoint frames carrying the
+// switch's encoded payload plus its metadata, so replicating the log costs
+// one frame write and zero codec work. The raw-bytes counter is not
+// advanced (there is no decoded form to measure), so CompressionRatio on a
+// mirror store reads 0.
+func (s *Store) AppendEncoded(payload []byte, port int, freezeTime, prevFreeze uint64, special bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("histstore: store is closed")
+	}
+	var flags byte
+	if special {
+		flags = recFlagSpecial
+	}
+	return s.appendPayloadLocked(payload, port, freezeTime, prevFreeze, flags)
+}
+
+// appendPayloadLocked frames one encoded record into the active segment:
+// rotate when full, write, index, advance retention bookkeeping, fsync per
+// policy. Shared by the encode (AppendWith) and pre-encoded
+// (AppendEncoded) paths.
+func (s *Store) appendPayloadLocked(payload []byte, port int, freezeTime, prevFreeze uint64, flags byte) error {
 	if s.activeSeg.count > 0 &&
 		s.activeSeg.recordEnd+int64(len(payload))+8 > s.opts.SegmentBytes {
 		if err := s.rotateLocked(); err != nil {
@@ -304,22 +351,21 @@ func (s *Store) Append(rec *Record) error {
 		return err
 	}
 	s.activeSeg.index = append(s.activeSeg.index, indexEntry{
-		port:       rec.Port,
-		freezeTime: rec.FreezeTime,
-		prevFreeze: rec.PrevFreeze,
+		port:       port,
+		freezeTime: freezeTime,
+		prevFreeze: prevFreeze,
 		offset:     off,
 		payloadLen: uint32(len(payload)),
-		flags:      recFlags(rec),
+		flags:      flags,
 	})
-	s.activeSeg.noteRecord(rec.FreezeTime, rec.PrevFreeze)
+	s.activeSeg.noteRecord(freezeTime, prevFreeze)
 	s.activeSeg.recordEnd += int64(n)
 	s.activeSeg.fileSize = s.activeSeg.recordEnd
-	if rec.FreezeTime > s.maxFreezeSeen {
-		s.maxFreezeSeen = rec.FreezeTime
+	if freezeTime > s.maxFreezeSeen {
+		s.maxFreezeSeen = freezeTime
 	}
 	s.appended.Inc()
 	s.encodedBytes.Add(int64(len(payload)))
-	s.rawBytes.Add(rec.MemBytes())
 	if s.opts.FsyncEvery > 0 {
 		s.sinceSync++
 		if s.sinceSync >= s.opts.FsyncEvery {
@@ -483,6 +529,88 @@ func (s *Store) Covering(port int, start, end uint64) ([]*ColdCheckpoint, error)
 		return out[i].cp.rec.FreezeTime < out[j].cp.rec.FreezeTime
 	})
 	return out, nil
+}
+
+// ReplaySince streams every stored record whose FreezeTime is strictly
+// greater than since to fn, in append order (segment sequence, then
+// intra-segment offset), passing the raw encoded payload and the indexed
+// metadata. The payload is only valid for the duration of the call; fn
+// must copy what it keeps. fn returning an error stops the replay and
+// propagates. Reads happen outside the store lock, so appends proceed
+// concurrently; records appended after the locator snapshot was taken are
+// not replayed (a live subscription catches them instead). A segment
+// pruned mid-replay is skipped, like in Covering: its data aged out of
+// retention.
+func (s *Store) ReplaySince(since uint64, fn func(payload []byte, port int, freezeTime, prevFreeze uint64, special bool) error) error {
+	type locator struct {
+		path  string
+		limit int64
+		entry indexEntry
+	}
+	var locs []locator
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("histstore: store is closed")
+	}
+	segs := make([]*segment, 0, len(s.sealed)+1)
+	segs = append(segs, s.sealed...)
+	if s.activeSeg != nil {
+		segs = append(segs, s.activeSeg)
+	}
+	for _, seg := range segs {
+		if seg.count > 0 && seg.maxFreeze <= since {
+			continue
+		}
+		if seg.index == nil {
+			if err := seg.loadIndex(); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			s.indexLoads.Inc()
+		}
+		for _, e := range seg.index {
+			if e.freezeTime > since {
+				locs = append(locs, locator{path: seg.path, limit: seg.recordEnd, entry: e})
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	var f *os.File
+	var open string
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+	}()
+	for _, l := range locs {
+		if f == nil || open != l.path {
+			if f != nil {
+				f.Close()
+				f = nil
+			}
+			var err error
+			f, err = os.Open(l.path)
+			if err != nil {
+				if os.IsNotExist(err) {
+					continue
+				}
+				return err
+			}
+			open = l.path
+		}
+		payload, err := readFrame(f, l.entry.offset, l.limit)
+		if err != nil {
+			return err
+		}
+		if err := fn(payload, l.entry.port, l.entry.freezeTime, l.entry.prevFreeze,
+			l.entry.flags&recFlagSpecial != 0); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // decodeAt reads and decodes the record at the given location, inserting it

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"printqueue/internal/core/control"
+	"printqueue/internal/core/histstore"
 	"printqueue/internal/core/qmonitor"
 	"printqueue/internal/core/timewindow"
 	"printqueue/internal/fleet"
@@ -34,6 +36,10 @@ type ChainRunConfig struct {
 	// MaxCheckpoints bounds each hop's hot checkpoint history (0 =
 	// unlimited).
 	MaxCheckpoints int
+	// HistDir, when set, gives every hop a durable checkpoint history
+	// under HistDir/hop<k> — the segment log that checkpoint streaming
+	// replays from, so fleet mirrors can warm up against the chain.
+	HistDir string
 }
 
 // ChainRun is an executed multi-hop experiment: per hop, the monitored
@@ -85,12 +91,16 @@ func ExecuteChain(pkts []pktrec.Packet, inject [][]pktrec.Packet, cfg ChainRunCo
 	}
 	run := &ChainRun{Chain: chain, Port: port}
 	for k := 0; k < cfg.Hops; k++ {
-		sys, err := control.New(control.Config{
+		hopCfg := control.Config{
 			TW:             cfg.TW,
 			QM:             cfg.QM,
 			Ports:          []int{port},
 			MaxCheckpoints: cfg.MaxCheckpoints,
-		})
+		}
+		if cfg.HistDir != "" {
+			hopCfg.History = &histstore.Options{Dir: filepath.Join(cfg.HistDir, fmt.Sprintf("hop%d", k))}
+		}
+		sys, err := control.New(hopCfg)
 		if err != nil {
 			run.Close()
 			return nil, err

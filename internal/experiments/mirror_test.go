@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"printqueue/internal/core/control"
+	"printqueue/internal/fleet"
+	"printqueue/internal/pktrec"
+)
+
+// serveChainBoth exposes every hop of the chain over TCP once and
+// registers the same switches with two collectors: a plain fan-out
+// collector and a mirror-mode collector fed by checkpoint streams. The
+// chain must have been executed with HistDir set, so the mirrors have a
+// segment log to replay.
+func serveChainBoth(t *testing.T, run *ChainRun) (plain, mirrored *fleet.Collector, hops []fleet.HopRef) {
+	t.Helper()
+	plain = fleet.New(fleet.Options{})
+	t.Cleanup(func() { plain.Close() })
+	mirrored = fleet.New(fleet.Options{Mirror: true, MirrorDir: t.TempDir()})
+	t.Cleanup(func() { mirrored.Close() })
+	hops = make([]fleet.HopRef, len(run.Sys))
+	for k, sys := range run.Sys {
+		qs := control.NewQueryServer(sys)
+		qs.Start(2)
+		t.Cleanup(qs.Stop)
+		srv, err := control.ServeQueries("127.0.0.1:0", qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		id := fmt.Sprintf("sw%d", k)
+		info := fleet.SwitchInfo{ID: id, Hop: k, Addr: srv.Addr().String()}
+		if err := plain.Register(info); err != nil {
+			t.Fatal(err)
+		}
+		if err := mirrored.Register(info); err != nil {
+			t.Fatal(err)
+		}
+		hops[k] = fleet.HopRef{SwitchID: id, Port: run.Port}
+	}
+	return plain, mirrored, hops
+}
+
+// chainMinFreeze is the largest interval end every hop's mirror can cover
+// with zero lag: the smallest finalize freeze across hops.
+func chainMinFreeze(run *ChainRun) uint64 {
+	min := ^uint64(0)
+	for k := range run.Sys {
+		if f := run.Chain.Switch(k).Port(run.Port).Now() + 1; f < min {
+			min = f
+		}
+	}
+	return min
+}
+
+// waitChainMirrorsWarm polls a full-span path query until every hop is
+// served from its mirror — externally observable via HopResult.Mirrored,
+// no reaching into collector internals.
+func waitChainMirrorsWarm(t *testing.T, c *fleet.Collector, hops []fleet.HopRef, end uint64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		results := c.QueryPath(hops, 0, end)
+		warm := true
+		for _, res := range results {
+			if res.Err != nil || !res.Mirrored {
+				warm = false
+				break
+			}
+		}
+		if warm {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("mirrors never warmed to %d: %+v", end, results)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFleetChainMirrorDifferential is the tentpole's acceptance test: on a
+// 3-hop simulated chain with cross-traffic at the middle hop, a warm
+// mirror-mode collector must answer path queries and diagnoses
+// bit-identically to the plain fan-out collector, over seeded random
+// intervals that land in the hot tier, the cold tier, and straddle both
+// (the hops keep only a 4-checkpoint hot ring, so most history is
+// cold-only).
+func TestFleetChainMirrorDifferential(t *testing.T) {
+	cfg := chainRunConfig(3)
+	cfg.MaxCheckpoints = 4 // shove most checkpoints into the cold tier
+	cfg.HistDir = t.TempDir()
+	run, err := ExecuteChain(chainSchedule(), [][]pktrec.Packet{1: crossSchedule()}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(run.Close)
+	plain, mirrored, hops := serveChainBoth(t, run)
+	minFreeze := chainMinFreeze(run)
+	waitChainMirrorsWarm(t, mirrored, hops, minFreeze)
+
+	rng := rand.New(rand.NewSource(7))
+	mirroredServed := 0
+	for trial := 0; trial < 30; trial++ {
+		start := uint64(rng.Int63n(int64(minFreeze)))
+		end := start + 1 + uint64(rng.Int63n(int64(minFreeze-start)))
+		want := plain.QueryPath(hops, start, end)
+		got := mirrored.QueryPath(hops, start, end)
+		for k := range hops {
+			if want[k].Err != nil || got[k].Err != nil {
+				t.Fatalf("[%d,%d) hop %d: plain err=%v mirrored err=%v", start, end, k, want[k].Err, got[k].Err)
+			}
+			if !reflect.DeepEqual(got[k].Counts, want[k].Counts) {
+				t.Fatalf("[%d,%d) hop %d: mirrored counts diverge\nmirrored: %v\nplain:    %v",
+					start, end, k, got[k].Counts, want[k].Counts)
+			}
+			if got[k].Mirrored {
+				mirroredServed++
+				if got[k].Stale {
+					t.Fatalf("[%d,%d) hop %d: fully covered answer annotated stale", start, end, k)
+				}
+			}
+		}
+	}
+	if mirroredServed == 0 {
+		t.Fatal("no trial was served from a mirror; the fast path never engaged")
+	}
+
+	// Past-the-cover intervals: the strict staleness default must fall back
+	// to the network, never serve silently lagged data.
+	res := mirrored.QueryPath(hops, 0, minFreeze+1000)
+	for k, r := range res {
+		if r.Err != nil {
+			t.Fatalf("lagged query hop %d: %v", k, r.Err)
+		}
+		if r.Mirrored && r.Hop == hopWithMinFreeze(run) {
+			t.Fatalf("hop %d served a lagged interval under strict staleness: %+v", k, r)
+		}
+	}
+
+	// Full diagnosis differential: ranked culprits and per-hop counts must
+	// match exactly (Latency/Mirrored annotations aside).
+	dPlain, err := plain.Diagnose("victim", hops, 0, minFreeze, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMir, err := mirrored.Diagnose("victim", hops, 0, minFreeze, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dPlain.Partial || dMir.Partial {
+		t.Fatalf("partial diagnosis: plain=%v mirrored=%v", dPlain.FailedHops(), dMir.FailedHops())
+	}
+	for k := range dPlain.Hops {
+		if !reflect.DeepEqual(dMir.Hops[k].Counts, dPlain.Hops[k].Counts) {
+			t.Fatalf("hop %d: diagnosis counts diverge", k)
+		}
+		if !reflect.DeepEqual(dMir.Hops[k].Culprits, dPlain.Hops[k].Culprits) {
+			t.Fatalf("hop %d: culprit ranking diverges\nmirrored: %+v\nplain:    %+v",
+				k, dMir.Hops[k].Culprits, dPlain.Hops[k].Culprits)
+		}
+		if !dMir.Hops[k].Mirrored {
+			t.Fatalf("hop %d of the mirrored diagnosis went over the network", k)
+		}
+	}
+}
+
+// hopWithMinFreeze returns the hop index whose finalize freeze is the
+// chain minimum — the hop guaranteed to lag a query ending past it.
+func hopWithMinFreeze(run *ChainRun) int {
+	best, min := 0, ^uint64(0)
+	for k := range run.Sys {
+		if f := run.Chain.Switch(k).Port(run.Port).Now() + 1; f < min {
+			min, best = f, k
+		}
+	}
+	return best
+}

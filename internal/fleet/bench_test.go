@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"printqueue/internal/core/control"
+	"printqueue/internal/core/histstore"
 	"printqueue/internal/pktrec"
 )
 
@@ -156,6 +157,93 @@ func BenchmarkFleetQuery(b *testing.B) {
 		for _, res := range results {
 			if res.Err != nil {
 				b.Fatalf("hop %s: %v", res.SwitchID, res.Err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(benchRTT.Nanoseconds()), "rtt-ns/leg")
+}
+
+// benchHistSwitch is benchSwitch plus a durable checkpoint history, so a
+// mirror can replay it.
+func benchHistSwitch(b *testing.B, hop int) (addr string, shutdown func()) {
+	b.Helper()
+	cfg := fleetConfig()
+	cfg.History = &histstore.Options{Dir: b.TempDir()}
+	sys, err := control.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ts uint64 = 1000
+	for i := 0; i < 60; i++ {
+		ts += 10
+		sys.OnDequeue(benchPkt(hop, i, ts))
+	}
+	sys.Finalize(ts + 1)
+	qs := control.NewQueryServer(sys)
+	qs.Start(4)
+	srv, err := control.ServeQueries("127.0.0.1:0", qs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv.Addr().String(), func() {
+		srv.Close()
+		qs.Stop()
+		sys.Close()
+	}
+}
+
+// BenchmarkFleetQueryMirrored is BenchmarkFleetQuery with checkpoint
+// streaming on: the same 8 switches behind the same injected RTT, but
+// every hop's interval is answered from the collector's warm local
+// replica. The per-query figure should sit orders of magnitude below the
+// fan-out benchmark's, because no leg crosses the delayed network.
+func BenchmarkFleetQueryMirrored(b *testing.B) {
+	const nSwitches = 8
+	c := New(Options{
+		Workers:    nSwitches,
+		HopTimeout: 10 * time.Second,
+		Dial:       control.DialOptions{Dialer: delayDialer(benchRTT / 2)},
+		Mirror:     true,
+		MirrorDir:  b.TempDir(),
+		// The bench interval's end (1700) reaches 99ns past the last
+		// checkpoint freeze (1601); admit that lag so the mirror serves the
+		// exact interval the fan-out benchmark queries.
+		MirrorStalenessNs: 200,
+	})
+	defer c.Close()
+	hops := make([]HopRef, nSwitches)
+	for i := 0; i < nSwitches; i++ {
+		addr, shutdown := benchHistSwitch(b, i)
+		defer shutdown()
+		if err := c.Register(SwitchInfo{ID: fmt.Sprintf("sw%d", i), Hop: i, Addr: addr}); err != nil {
+			b.Fatal(err)
+		}
+		hops[i] = HopRef{SwitchID: fmt.Sprintf("sw%d", i), Port: 0}
+	}
+	// Warm every mirror through the feed horizon before timing.
+	for i := 0; i < nSwitches; i++ {
+		m := c.lookup(fmt.Sprintf("sw%d", i))
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if cov, ok := m.mirror.coverage(0); ok && cov.end >= 1601 {
+				break
+			}
+			if time.Now().After(deadline) {
+				b.Fatalf("mirror %d never warmed", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := c.QueryPath(hops, 1000, 1700)
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatalf("hop %s: %v", res.SwitchID, res.Err)
+			}
+			if !res.Mirrored {
+				b.Fatalf("hop %s fell back to the network mid-benchmark", res.SwitchID)
 			}
 		}
 	}

@@ -50,6 +50,9 @@ type queryConn interface {
 type member struct {
 	info SwitchInfo
 	conn queryConn
+	// mirror is the switch's local checkpoint replica (nil unless
+	// Options.Mirror is set).
+	mirror *Mirror
 
 	mu      sync.Mutex
 	lastErr error
@@ -117,6 +120,23 @@ type Options struct {
 	// fan-out absorbs the per-hop client spans and — because the trace id
 	// travels on every leg's wire frame — each hop's server-side spans.
 	Tracer *tracing.Tracer
+	// Mirror enables checkpoint streaming: every registered switch gets a
+	// local histstore replica fed by a checkpoint subscription, and hop
+	// queries whose interval the replica covers are answered locally with
+	// no network round trip.
+	Mirror bool
+	// MirrorDir is the root directory for the per-switch replica stores
+	// (one subdirectory per switch ID). Required when Mirror is set.
+	MirrorDir string
+	// MirrorStalenessNs bounds how far a query's end may extend past a
+	// mirror's covered span and still be served locally; such answers are
+	// annotated Stale with their LagNs. 0 (the default) is strict: only
+	// fully covered intervals are served from the mirror.
+	MirrorStalenessNs uint64
+	// MirrorDial, when non-nil, tunes the checkpoint-stream connections
+	// separately from the query sessions (e.g. to fault-inject only the
+	// stream). nil uses Dial.
+	MirrorDial *control.DialOptions
 }
 
 // Collector maintains query sessions to a fleet of switches and serves
@@ -130,6 +150,12 @@ type Collector struct {
 	members map[string]*member
 	closed  bool
 
+	// flights coalesces identical in-flight network legs (singleflight
+	// per switch+port+interval): a thundering herd of dashboards asking
+	// the same question costs one upstream query.
+	flightMu sync.Mutex
+	flights  map[flightKey]*flightCall
+
 	queries     *telemetry.Counter
 	fanoutLat   *telemetry.Histogram
 	hopErrors   *telemetry.Counter
@@ -137,6 +163,16 @@ type Collector struct {
 	partials    *telemetry.Counter
 	polls       *telemetry.Counter
 	switchesG   *telemetry.Gauge
+	coalesced   *telemetry.Counter
+
+	streamFrames        *telemetry.Counter
+	streamBytes         *telemetry.Counter
+	streamResyncs       *telemetry.Counter
+	streamReplayed      *telemetry.Counter
+	streamReconnects    *telemetry.Counter
+	streamMirrorQueries *telemetry.Counter
+	streamFallbacks     *telemetry.Counter
+	streamStaleServed   *telemetry.Counter
 }
 
 // New builds a Collector. Register switches before querying.
@@ -158,6 +194,7 @@ func New(opts Options) *Collector {
 		},
 		sem:     make(chan struct{}, opts.Workers),
 		members: make(map[string]*member),
+		flights: make(map[flightKey]*flightCall),
 		queries: reg.Counter("printqueue_fleet_queries_total",
 			"Fleet-level path queries fanned out by the collector."),
 		fanoutLat: reg.Histogram("printqueue_fleet_fanout_latency_ns",
@@ -173,6 +210,24 @@ func New(opts Options) *Collector {
 			"Liveness poll rounds issued to the registered switches."),
 		switchesG: reg.Gauge("printqueue_fleet_switches",
 			"Switches currently registered with the collector."),
+		coalesced: reg.Counter("printqueue_fleet_coalesced_queries_total",
+			"Hop queries answered by joining an identical in-flight network leg."),
+		streamFrames: reg.Counter("printqueue_fleet_stream_frames_total",
+			"Checkpoint frames ingested by the collector's mirrors."),
+		streamBytes: reg.Counter("printqueue_fleet_stream_bytes_total",
+			"Encoded checkpoint payload bytes ingested by the mirrors."),
+		streamResyncs: reg.Counter("printqueue_fleet_stream_resyncs_total",
+			"Stream resyncs observed (server dropped frames under backpressure or a sequence gap)."),
+		streamReplayed: reg.Counter("printqueue_fleet_stream_replayed_total",
+			"Checkpoint frames ingested from segment-log catch-up replays."),
+		streamReconnects: reg.Counter("printqueue_fleet_stream_reconnects_total",
+			"Checkpoint-stream redials after a break or resync."),
+		streamMirrorQueries: reg.Counter("printqueue_fleet_stream_mirror_queries_total",
+			"Hop queries answered locally from a mirror."),
+		streamFallbacks: reg.Counter("printqueue_fleet_stream_fallbacks_total",
+			"Hop queries that fell back to the network fan-out (mirror cold or lagged past the staleness bound)."),
+		streamStaleServed: reg.Counter("printqueue_fleet_stream_stale_served_total",
+			"Mirror answers served with an explicit staleness annotation."),
 	}
 }
 
@@ -196,17 +251,31 @@ func (c *Collector) Register(info SwitchInfo) error {
 	if err != nil {
 		return fmt.Errorf("fleet: dial switch %q at %s: %w", info.ID, info.Addr, err)
 	}
+	var mirror *Mirror
+	if c.opts.Mirror {
+		mirror, err = c.startMirror(info)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		conn.Close()
+		if mirror != nil {
+			mirror.close()
+		}
 		return net.ErrClosed
 	}
 	if _, ok := c.members[info.ID]; ok {
 		conn.Close()
+		if mirror != nil {
+			mirror.close()
+		}
 		return fmt.Errorf("fleet: switch %q already registered", info.ID)
 	}
-	c.members[info.ID] = &member{info: info, conn: conn}
+	c.members[info.ID] = &member{info: info, conn: conn, mirror: mirror}
 	c.switchesG.Add(1)
 	return nil
 }
@@ -222,6 +291,9 @@ func (c *Collector) Unregister(id string) error {
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("fleet: switch %q not registered", id)
+	}
+	if m.mirror != nil {
+		m.mirror.close()
 	}
 	return m.conn.Close()
 }
@@ -239,6 +311,9 @@ func (c *Collector) Close() error {
 	c.mu.Unlock()
 	var first error
 	for _, m := range members {
+		if m.mirror != nil {
+			m.mirror.close()
+		}
 		if err := m.conn.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -286,8 +361,21 @@ type HopResult struct {
 	Counts   map[string]float64
 	Err      error
 	// Latency is the hop's round-trip wall time (including retries), up
-	// to the per-hop deadline.
+	// to the per-hop deadline. Mirror-served answers report the local
+	// query time.
 	Latency time.Duration
+	// Mirrored marks an answer served from the collector's local replica
+	// instead of a network round trip to the switch.
+	Mirrored bool
+	// Stale marks a mirrored answer whose interval extends past the
+	// replica's covered span: data the switch retired after LagNs before
+	// the query's end is missing. Never set silently — a stale answer is
+	// only produced within Options.MirrorStalenessNs, or as the explicit
+	// last resort when the switch itself is unreachable.
+	Stale bool
+	// LagNs is how far the query's end exceeded the mirror's covered
+	// span (0 for fresh answers).
+	LagNs uint64
 }
 
 // QueryPath fans an interval query out to every hop of the path
@@ -309,6 +397,17 @@ func (c *Collector) QueryPath(hops []HopRef, start, end uint64) []HopResult {
 			continue
 		}
 		results[i].Hop = m.info.Hop
+		// Mirror fast path, inline: a covered interval is answered from
+		// the local replica without a goroutine, a pool slot, or a wire
+		// round trip — this is what makes a warm-mirror fan-out run at
+		// local speed.
+		if m.mirror != nil {
+			if res, ok := c.tryMirror(m, h.Port, start, end, false); ok {
+				results[i] = res
+				continue
+			}
+			c.streamFallbacks.Inc()
+		}
 		wg.Add(1)
 		go func(i int, m *member, port int) {
 			defer wg.Done()
@@ -338,10 +437,68 @@ func (c *Collector) QueryPath(hops []HopRef, start, end uint64) []HopResult {
 	return results
 }
 
-// queryHop runs one fan-out leg under the per-hop deadline. The leg's
-// client spans and the hop's server spans land in tr (shared across legs;
-// span recording is lock-free and concurrent-safe).
+// queryHop runs one hop's network leg (the mirror fast path, if any,
+// already declined inline in QueryPath), coalesced with identical
+// in-flight legs. A leg that dies with a transport error falls back to the
+// mirror as an explicit last resort — annotated stale, never silent —
+// which is how a blackholed switch keeps answering.
 func (c *Collector) queryHop(m *member, port int, start, end uint64, tr *tracing.Trace) HopResult {
+	res := c.queryHopNet(m, port, start, end, tr)
+	if res.Err != nil && transportError(res.Err) && m.mirror != nil {
+		if degraded, ok := c.tryMirror(m, port, start, end, true); ok {
+			if !degraded.Stale {
+				// Unreachable switch: annotate even a fully covered answer.
+				degraded.Stale = true
+				c.streamStaleServed.Inc()
+			}
+			return degraded
+		}
+	}
+	return res
+}
+
+// flightKey identifies one coalescable network leg.
+type flightKey struct {
+	id         string
+	port       int
+	start, end uint64
+}
+
+// flightCall is one in-flight leader; followers block on done and share
+// its result (including the counts map, which is read-only downstream).
+type flightCall struct {
+	done chan struct{}
+	res  HopResult
+}
+
+// queryHopNet coalesces identical concurrent network legs: the first
+// caller (the leader) performs the round trip, later callers wait for its
+// result. The leader already holds a fan-out pool slot, so followers
+// waiting never starve it.
+func (c *Collector) queryHopNet(m *member, port int, start, end uint64, tr *tracing.Trace) HopResult {
+	key := flightKey{id: m.info.ID, port: port, start: start, end: end}
+	c.flightMu.Lock()
+	if fc, ok := c.flights[key]; ok {
+		c.flightMu.Unlock()
+		c.coalesced.Inc()
+		<-fc.done
+		return fc.res
+	}
+	fc := &flightCall{done: make(chan struct{})}
+	c.flights[key] = fc
+	c.flightMu.Unlock()
+	fc.res = c.queryHopDirect(m, port, start, end, tr)
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	close(fc.done)
+	return fc.res
+}
+
+// queryHopDirect runs one fan-out leg under the per-hop deadline. The
+// leg's client spans and the hop's server spans land in tr (shared across
+// legs; span recording is lock-free and concurrent-safe).
+func (c *Collector) queryHopDirect(m *member, port int, start, end uint64, tr *tracing.Trace) HopResult {
 	res := HopResult{SwitchID: m.info.ID, Hop: m.info.Hop, Port: port}
 	sp := tr.StartSpan("fleet.hop."+m.info.ID, tracing.SrcClient)
 	t0 := time.Now()

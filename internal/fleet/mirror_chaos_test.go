@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"printqueue/internal/core/control"
+	"printqueue/internal/faultnet"
+	"printqueue/internal/pktrec"
+)
+
+// flakyStreamDialer routes the mirror's checkpoint-stream dials through a
+// swappable faultnet.Dialer, so a test can blackout redials (transient
+// injected dial failures) for a window and then heal them.
+type flakyStreamDialer struct {
+	mu    sync.Mutex
+	inner *faultnet.Dialer
+}
+
+func (d *flakyStreamDialer) dial(addr string, timeout time.Duration) (net.Conn, error) {
+	d.mu.Lock()
+	inner := d.inner
+	d.mu.Unlock()
+	return inner.Dial(addr, timeout)
+}
+
+func (d *flakyStreamDialer) set(inner *faultnet.Dialer) {
+	d.mu.Lock()
+	d.inner = inner
+	d.mu.Unlock()
+}
+
+// TestFleetMirrorCatchUpChaos is the stream-outage scenario: the
+// checkpoint stream is killed mid-flight and every redial fails while the
+// switch keeps retiring checkpoints into its segment log. When the network
+// heals, the mirror must resubscribe from its watermark, replay exactly
+// the records it missed from the switch's log, and answer an interval
+// spanning the outage bit-identically to querying the switch directly.
+func TestFleetMirrorCatchUpChaos(t *testing.T) {
+	seed := chaosSeed(t)
+	addr, sys, horizon, _ := startHistSwitch(t, 0)
+
+	dialer := &flakyStreamDialer{inner: &faultnet.Dialer{Config: faultnet.Config{Seed: seed}}}
+	c := New(Options{
+		MirrorDir: t.TempDir(),
+		Mirror:    true,
+		MirrorDial: &control.DialOptions{
+			Timeout: time.Second,
+			Dialer:  dialer.dial,
+		},
+	})
+	t.Cleanup(func() { c.Close() })
+	if err := c.Register(SwitchInfo{ID: "sw0", Hop: 0, Addr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	waitMirrorWarm(t, c, "sw0", 0, horizon+1)
+	replayedWarm := c.streamReplayed.Load()
+	if replayedWarm == 0 {
+		t.Fatal("initial warm-up replayed nothing; the fixture's history is empty")
+	}
+
+	// Blackout: every stream redial now fails with a faultnet transient
+	// error, and the live subscription is killed mid-flight.
+	dialer.set(&faultnet.Dialer{
+		Config:    faultnet.Config{Seed: seed},
+		FailFirst: 1 << 30,
+	})
+	mir := c.lookup("sw0").mirror
+	mir.mu.Lock()
+	cur := mir.cur
+	mir.mu.Unlock()
+	if cur == nil {
+		t.Fatal("no live stream to kill")
+	}
+	cur.Close()
+
+	// The switch keeps working through the outage: 60 more dequeues retire
+	// checkpoints the mirror cannot see.
+	ts := horizon + 100
+	for i := 0; i < 60; i++ {
+		ts += 10
+		sys.OnDequeue(&pktrec.Packet{
+			Flow: fleetKey(0, byte(i%3)),
+			Port: 0,
+			Meta: pktrec.Metadata{EnqTimestamp: ts - 40, DeqTimedelta: 40, EnqQdepth: 8 + i%9},
+		})
+	}
+	sys.Finalize(ts + 1)
+	horizon2 := ts
+
+	// Prove the mirror is actually dark: give the redial loop time to spin
+	// against the injected failures.
+	time.Sleep(50 * time.Millisecond)
+	if cov, ok := mir.coverage(0); !ok || cov.end >= horizon2 {
+		t.Fatalf("mirror advanced to %+v during the blackout", cov)
+	}
+
+	// Heal and wait for catch-up.
+	dialer.set(&faultnet.Dialer{Config: faultnet.Config{Seed: seed + 1}})
+	waitMirrorWarm(t, c, "sw0", 0, horizon2+1)
+
+	if got := c.streamReconnects.Load(); got == 0 {
+		t.Fatal("catch-up did not count a reconnect")
+	}
+	if got := c.streamReplayed.Load(); got <= replayedWarm {
+		t.Fatalf("no gap replay: replayed counter stuck at %d", got)
+	}
+
+	// Differential check across the outage window: the healed mirror must
+	// agree bit-for-bit with the switch's own answer.
+	res := c.QueryPath([]HopRef{{"sw0", 0}}, 1000, horizon2+1)[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Mirrored {
+		t.Fatalf("healed mirror did not serve: %+v", res)
+	}
+	if res.Stale {
+		t.Fatalf("fully caught-up mirror annotated stale: %+v", res)
+	}
+	direct, err := control.DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Interval(0, 1000, horizon2+1)
+	direct.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("direct query returned no counts")
+	}
+	if !reflect.DeepEqual(res.Counts, want) {
+		t.Fatalf("post-outage mirror counts %v != direct counts %v", res.Counts, want)
+	}
+}
+
+// TestFleetMirrorBlackholedSwitch is the degraded-service acceptance
+// criterion: a switch that vanishes entirely (its query plane is gone)
+// must still be answerable from its warm replica — explicitly annotated
+// stale, never silently — while a plain collector can only report the
+// transport error.
+func TestFleetMirrorBlackholedSwitch(t *testing.T) {
+	addr, _, horizon, srv := startHistSwitch(t, 0)
+	c := New(Options{
+		Mirror:     true,
+		MirrorDir:  t.TempDir(),
+		HopTimeout: 2 * time.Second,
+		Dial: control.DialOptions{
+			Timeout:     150 * time.Millisecond,
+			MaxRetries:  1,
+			BackoffBase: time.Microsecond,
+			BackoffMax:  time.Millisecond,
+		},
+	})
+	t.Cleanup(func() { c.Close() })
+	if err := c.Register(SwitchInfo{ID: "sw0", Hop: 0, Addr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	waitMirrorWarm(t, c, "sw0", 0, horizon+1)
+
+	// Snapshot the expected answer while the switch is still up, over an
+	// interval that reaches past the replica's cover (so the strict
+	// staleness gate would normally force the network leg).
+	direct, err := control.DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Interval(0, 1000, horizon+5)
+	direct.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close() // the switch disappears
+
+	res := c.QueryPath([]HopRef{{"sw0", 0}}, 1000, horizon+5)[0]
+	if res.Err != nil {
+		t.Fatalf("blackholed switch with a warm replica failed: %v", res.Err)
+	}
+	if !res.Mirrored {
+		t.Fatalf("answer not served from the replica: %+v", res)
+	}
+	if !res.Stale {
+		t.Fatal("degraded replica answer not annotated stale — silent staleness is forbidden")
+	}
+	if res.LagNs != 4 {
+		t.Fatalf("LagNs = %d, want 4 (query end %d vs cover end %d)", res.LagNs, horizon+5, horizon+1)
+	}
+	if !reflect.DeepEqual(res.Counts, want) {
+		t.Fatalf("replica counts %v != pre-outage direct counts %v", res.Counts, want)
+	}
+	if got := c.streamStaleServed.Load(); got == 0 {
+		t.Fatal("stale-served counter did not move")
+	}
+
+	// Control group: without a mirror the same query can only fail.
+	plain := New(Options{
+		HopTimeout: time.Second,
+		Dial: control.DialOptions{
+			Timeout:     100 * time.Millisecond,
+			MaxRetries:  1,
+			BackoffBase: time.Microsecond,
+			BackoffMax:  time.Millisecond,
+		},
+	})
+	t.Cleanup(func() { plain.Close() })
+	if err := plain.Register(SwitchInfo{ID: "sw0", Hop: 0, Addr: addr}); err == nil {
+		if r := plain.QueryPath([]HopRef{{"sw0", 0}}, 1000, horizon+5)[0]; r.Err == nil {
+			t.Fatal("plain collector answered through a closed server")
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"printqueue/internal/core/control"
+	"printqueue/internal/core/histstore"
+	"printqueue/internal/pktrec"
+	"printqueue/internal/telemetry"
+)
+
+// startHistSwitch is startSwitch with a durable checkpoint history — the
+// segment log that checkpoint streaming replays from, so a mirror can warm
+// up against traffic that predates its subscription.
+func startHistSwitch(t *testing.T, hop int) (addr string, sys *control.System, horizon uint64, srv *control.NetServer) {
+	t.Helper()
+	cfg := fleetConfig()
+	cfg.History = &histstore.Options{Dir: t.TempDir()}
+	sys, err := control.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sys.Close() })
+	var ts uint64 = 1000
+	for i := 0; i < 60; i++ {
+		ts += 10
+		sys.OnDequeue(&pktrec.Packet{
+			Flow: fleetKey(byte(hop), byte(i%3)),
+			Port: 0,
+			Meta: pktrec.Metadata{EnqTimestamp: ts - 40, DeqTimedelta: 40, EnqQdepth: 8 + i%9},
+		})
+	}
+	sys.Finalize(ts + 1)
+	qs := control.NewQueryServer(sys)
+	qs.Start(2)
+	t.Cleanup(qs.Stop)
+	srv, err = control.ServeQueries("127.0.0.1:0", qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr().String(), sys, ts, srv
+}
+
+// newMirroredFleet builds a mirror-mode collector over n switches with
+// durable histories and waits until every mirror's replay has caught up to
+// the feed horizon.
+func newMirroredFleet(t *testing.T, n int, opts Options) (*Collector, []string, uint64) {
+	t.Helper()
+	opts.Mirror = true
+	if opts.MirrorDir == "" {
+		opts.MirrorDir = t.TempDir()
+	}
+	c := New(opts)
+	t.Cleanup(func() { c.Close() })
+	addrs := make([]string, n)
+	var horizon uint64
+	for i := 0; i < n; i++ {
+		addr, _, h, _ := startHistSwitch(t, i)
+		addrs[i] = addr
+		horizon = h
+		if err := c.Register(SwitchInfo{ID: fmt.Sprintf("sw%d", i), Hop: i, Addr: addr}); err != nil {
+			t.Fatalf("register hop %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		waitMirrorWarm(t, c, fmt.Sprintf("sw%d", i), 0, horizon+1)
+	}
+	return c, addrs, horizon
+}
+
+// waitMirrorWarm blocks until the switch's mirror covers through target.
+func waitMirrorWarm(t *testing.T, c *Collector, id string, port int, target uint64) {
+	t.Helper()
+	m := c.lookup(id)
+	if m == nil || m.mirror == nil {
+		t.Fatalf("switch %s has no mirror", id)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if cov, ok := m.mirror.coverage(port); ok && cov.end >= target {
+			return
+		}
+		if time.Now().After(deadline) {
+			cov, ok := m.mirror.coverage(port)
+			t.Fatalf("mirror for %s never warmed to %d (cover %+v ok=%v)", id, target, cov, ok)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFleetMirrorBitIdentical is the differential acceptance property:
+// with warm mirrors, every hop of a path query is answered locally and the
+// counts are bit-identical to querying the switch directly.
+func TestFleetMirrorBitIdentical(t *testing.T) {
+	c, addrs, horizon := newMirroredFleet(t, 3, Options{})
+	hops := []HopRef{{"sw0", 0}, {"sw1", 0}, {"sw2", 0}}
+	results := c.QueryPath(hops, 1000, horizon+1)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("hop %d: %v", i, res.Err)
+		}
+		if !res.Mirrored {
+			t.Fatalf("hop %d not served from its warm mirror: %+v", i, res)
+		}
+		if res.Stale || res.LagNs != 0 {
+			t.Fatalf("fully covered hop %d annotated stale: %+v", i, res)
+		}
+		direct, err := control.DialMux(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Interval(0, 1000, horizon+1)
+		direct.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			t.Fatalf("hop %d: direct query returned no counts", i)
+		}
+		if !reflect.DeepEqual(res.Counts, want) {
+			t.Fatalf("hop %d: mirror counts %v != direct counts %v", i, res.Counts, want)
+		}
+	}
+	if got := c.streamMirrorQueries.Load(); got != 3 {
+		t.Fatalf("mirror queries counter = %d, want 3", got)
+	}
+	if got := c.streamFallbacks.Load(); got != 0 {
+		t.Fatalf("warm fleet recorded %d fallbacks", got)
+	}
+}
+
+// TestFleetMirrorRandomIntervals fuzzes the differential property over
+// random intervals that land in the cold tier, the hot tier, and straddle
+// both: the mirror must agree bit-for-bit with the switch everywhere its
+// coverage admits the query.
+func TestFleetMirrorRandomIntervals(t *testing.T) {
+	c, addrs, horizon := newMirroredFleet(t, 1, Options{})
+	direct, err := control.DialMux(addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+	// A deterministic LCG stands in for math/rand: same spread, no seed
+	// plumbing.
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(span uint64) uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return (state >> 33) % span
+	}
+	span := horizon + 1 - 900
+	for trial := 0; trial < 40; trial++ {
+		start := 900 + next(span)
+		end := start + 1 + next(span)
+		if end > horizon+1 {
+			end = horizon + 1
+		}
+		if end <= start {
+			continue
+		}
+		res := c.QueryPath([]HopRef{{"sw0", 0}}, start, end)[0]
+		if res.Err != nil {
+			t.Fatalf("[%d,%d): %v", start, end, res.Err)
+		}
+		if !res.Mirrored {
+			t.Fatalf("[%d,%d) inside coverage not mirror-served", start, end)
+		}
+		want, err := direct.Interval(0, start, end)
+		if err != nil {
+			t.Fatalf("[%d,%d) direct: %v", start, end, err)
+		}
+		if !reflect.DeepEqual(res.Counts, want) {
+			t.Fatalf("[%d,%d): mirror %v != direct %v", start, end, res.Counts, want)
+		}
+	}
+}
+
+// TestFleetMirrorStalenessGate: a query reaching past the mirror's cover
+// falls back to the network under the strict default, and is served
+// locally with an explicit Stale/LagNs annotation under a tolerant bound.
+func TestFleetMirrorStalenessGate(t *testing.T) {
+	strict, _, horizon := newMirroredFleet(t, 1, Options{})
+	res := strict.QueryPath([]HopRef{{"sw0", 0}}, 1000, horizon+5)[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Mirrored {
+		t.Fatalf("strict staleness served a lagged query from the mirror: %+v", res)
+	}
+	if got := strict.streamFallbacks.Load(); got == 0 {
+		t.Fatal("fallback not counted")
+	}
+
+	tolerant, _, horizon := newMirroredFleet(t, 1, Options{MirrorStalenessNs: 100})
+	res = tolerant.QueryPath([]HopRef{{"sw0", 0}}, 1000, horizon+5)[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Mirrored || !res.Stale {
+		t.Fatalf("tolerant bound did not serve an annotated stale answer: %+v", res)
+	}
+	if want := uint64(4); res.LagNs != want {
+		t.Fatalf("LagNs = %d, want %d", res.LagNs, want)
+	}
+	if got := tolerant.streamStaleServed.Load(); got != 1 {
+		t.Fatalf("stale-served counter = %d, want 1", got)
+	}
+}
+
+// TestFleetMirrorColdFallback: mirror mode against a switch with no
+// durable history — there is nothing to replay, so queries over old
+// traffic fall back to the network and stay correct.
+func TestFleetMirrorColdFallback(t *testing.T) {
+	addr, _, horizon := startSwitch(t, 0)
+	c := New(Options{Mirror: true, MirrorDir: t.TempDir()})
+	t.Cleanup(func() { c.Close() })
+	if err := c.Register(SwitchInfo{ID: "sw0", Hop: 0, Addr: addr}); err != nil {
+		t.Fatal(err)
+	}
+	res := c.QueryPath([]HopRef{{"sw0", 0}}, 1000, horizon+1)[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Mirrored {
+		t.Fatalf("cold mirror claimed to answer: %+v", res)
+	}
+	if len(res.Counts) == 0 {
+		t.Fatal("network fallback returned no counts")
+	}
+	if got := c.streamFallbacks.Load(); got == 0 {
+		t.Fatal("cold-mirror fallback not counted")
+	}
+}
+
+// TestFleetCoalescedQueries: identical concurrent network legs collapse to
+// one upstream round trip; followers share the leader's result.
+func TestFleetCoalescedQueries(t *testing.T) {
+	want := map[string]float64{"10.0.0.1:5>10.0.1.1:80/tcp": 3}
+	c := New(Options{Workers: 16})
+	defer c.Close()
+	c.dial = stubDial(map[string]queryConn{
+		"slow": &slowConn{delay: 100 * time.Millisecond, counts: want},
+	})
+	if err := c.Register(SwitchInfo{ID: "slow", Hop: 0, Addr: "slow"}); err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([][]HopResult, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.QueryPath([]HopRef{{"slow", 0}}, 0, 100)
+		}(i)
+	}
+	wg.Wait()
+	for i, rs := range results {
+		if rs[0].Err != nil || !reflect.DeepEqual(rs[0].Counts, want) {
+			t.Fatalf("caller %d: %+v", i, rs[0])
+		}
+	}
+	coalesced := c.coalesced.Load()
+	if coalesced == 0 {
+		t.Fatal("no coalescing despite identical concurrent legs")
+	}
+	if coalesced > callers-1 {
+		t.Fatalf("coalesced %d legs, more than the %d possible followers", coalesced, callers-1)
+	}
+	// A different interval must NOT join the flight.
+	res := c.QueryPath([]HopRef{{"slow", 0}}, 0, 101)[0]
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := c.coalesced.Load(); got != coalesced {
+		t.Fatalf("distinct interval coalesced: counter %d -> %d", coalesced, got)
+	}
+}
+
+// TestFleetStreamMetricsParity is the registry audit: every metric family
+// the collector registers — including the nine streaming/coalescing
+// families added with mirror mode — must appear in the Prometheus
+// exposition after a mirrored query.
+func TestFleetStreamMetricsParity(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c, _, horizon := newMirroredFleet(t, 1, Options{Telemetry: reg})
+	if res := c.QueryPath([]HopRef{{"sw0", 0}}, 1000, horizon+1)[0]; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exposition := buf.String()
+	names := reg.Names()
+	for _, want := range []string{
+		"printqueue_fleet_coalesced_queries_total",
+		"printqueue_fleet_stream_frames_total",
+		"printqueue_fleet_stream_bytes_total",
+		"printqueue_fleet_stream_resyncs_total",
+		"printqueue_fleet_stream_replayed_total",
+		"printqueue_fleet_stream_reconnects_total",
+		"printqueue_fleet_stream_mirror_queries_total",
+		"printqueue_fleet_stream_fallbacks_total",
+		"printqueue_fleet_stream_stale_served_total",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("metric %s not registered", want)
+		}
+	}
+	for _, n := range names {
+		if !strings.Contains(exposition, n) {
+			t.Errorf("registered metric %s missing from exposition", n)
+		}
+	}
+	if !strings.Contains(exposition, "printqueue_fleet_stream_frames_total") {
+		t.Fatal("stream frame counter missing from exposition")
+	}
+}
